@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Shared helpers for the table/figure benchmark harnesses.
+ */
+#ifndef EFFACT_BENCH_COMMON_H
+#define EFFACT_BENCH_COMMON_H
+
+#include "common/table.h"
+#include "platform/platform.h"
+
+namespace effact {
+
+/** Compile + simulate a fresh copy of a workload builder's output. */
+inline PlatformResult
+runOn(const HardwareConfig &hw, Workload workload)
+{
+    Platform platform(hw, Platform::fullOptions(hw.sramBytes));
+    return platform.run(workload);
+}
+
+/** Paper-scale CKKS parameters (Table III row 1). */
+inline FheParams
+paperFhe()
+{
+    return FheParams{}; // logN=16, L=24, dnum=4, lanes=1024
+}
+
+} // namespace effact
+
+#endif // EFFACT_BENCH_COMMON_H

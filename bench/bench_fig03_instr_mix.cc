@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Fig. 3 — residue-polynomial instruction mix of DBLookup, ResNet-20,
+ * HELR and fully-packed bootstrapping: NTT vs AUTO vs normal MULT/ADD
+ * vs BConv MULT/ADD.
+ */
+#include "bench_common.h"
+
+using namespace effact;
+
+int
+main()
+{
+    Table table("Fig. 3 — residue-polynomial instruction mix (%)");
+    table.header({"benchmark", "NTT", "AUTO", "MULT", "ADD", "BC_MULT",
+                  "BC_ADD", "total insts"});
+
+    for (auto &[name, w] : buildAllBenchmarks(paperFhe())) {
+        StatSet mix = w.program.opMix();
+        // Compute-instruction population, as in the paper's IR counts.
+        double total = 0;
+        for (const char *key : {"NTT", "AUTO", "MULT", "ADD", "BC_MULT",
+                                "BC_ADD", "MAC", "BC_MAC"})
+            total += mix.get(key);
+        auto pct = [&](double v) { return Table::num(100.0 * v / total, 3); };
+        table.row({name, pct(mix.get("NTT")), pct(mix.get("AUTO")),
+                   pct(mix.get("MULT") + mix.get("MAC")),
+                   pct(mix.get("ADD")),
+                   pct(mix.get("BC_MULT") + mix.get("BC_MAC")),
+                   pct(mix.get("BC_ADD")), Table::num(total, 8)});
+    }
+    table.print();
+
+    std::puts("Paper reference (Fig. 3): NTT 6.5-7% of instructions;");
+    std::puts("MULT+ADD ~90%, of which ~52.7% of MULTs and ~51.6% of");
+    std::puts("ADDs belong to BConv in HELR/bootstrapping.");
+    return 0;
+}

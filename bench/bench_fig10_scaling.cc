@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Fig. 10 — performance scaling of EFFACT-54/108/162 (SRAM + multiplier
+ * scaling) over EFFACT-27 on bootstrapping, HELR and ResNet.
+ */
+#include "bench_common.h"
+
+using namespace effact;
+
+int
+main()
+{
+    std::vector<HardwareConfig> configs = {
+        HardwareConfig::asicEffact27(), HardwareConfig::asicEffact54(),
+        HardwareConfig::asicEffact108(), HardwareConfig::asicEffact162()};
+
+    struct BenchRow
+    {
+        const char *name;
+        Workload (*build)(const FheParams &);
+    };
+    std::vector<BenchRow> benches = {
+        {"Bootstrapping",
+         [](const FheParams &f) { return buildBootstrapping(f, {}); }},
+        {"HELR", buildHelr},
+        {"ResNet", buildResNet20},
+    };
+
+    Table table("Fig. 10 — speedup over EFFACT-27");
+    table.header({"config", "Bootstrapping", "HELR", "ResNet"});
+
+    std::vector<std::vector<double>> times(benches.size());
+    for (const auto &hw : configs) {
+        for (size_t b = 0; b < benches.size(); ++b) {
+            PlatformResult r = runOn(hw, benches[b].build(paperFhe()));
+            times[b].push_back(r.benchTimeMs);
+        }
+    }
+    for (size_t c = 0; c < configs.size(); ++c) {
+        std::vector<std::string> row = {configs[c].name};
+        for (size_t b = 0; b < benches.size(); ++b)
+            row.push_back(Table::num(times[b][0] / times[b][c], 4) + "x");
+        table.row(row);
+    }
+    table.print();
+
+    std::puts("Paper reference (Fig. 10): monotone speedups up to");
+    std::puts("~2.5-3.4x at EFFACT-162; EFFACT-108 overtakes ARK and");
+    std::puts("CraterLake on HELR/ResNet; bootstrapping needs");
+    std::puts("EFFACT-162 to catch up (more memory-intensive).");
+    return 0;
+}

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the functional kernels the
+ * platform is built on: NTT, base conversion (plain vs merged
+ * double-Montgomery form), automorphism and the fixed network.
+ */
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "math/automorphism.h"
+#include "math/fixed_network.h"
+#include "math/primes.h"
+#include "rns/bconv.h"
+
+using namespace effact;
+
+namespace {
+
+void
+BM_NttForward(benchmark::State &state)
+{
+    const size_t n = size_t(1) << static_cast<size_t>(state.range(0));
+    const u64 q = genNttPrimes(1, 54, n)[0];
+    Ntt ntt(n, q);
+    Rng rng(1);
+    std::vector<u64> a(n);
+    for (auto &c : a)
+        c = rng.uniform(q);
+    for (auto _ : state) {
+        ntt.forward(a.data());
+        benchmark::DoNotOptimize(a.data());
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) * int64_t(n));
+}
+BENCHMARK(BM_NttForward)->DenseRange(10, 14, 2);
+
+void
+BM_BconvPlain(benchmark::State &state)
+{
+    const size_t n = 1 << 12;
+    auto from = std::make_shared<RnsBasis>(n, genNttPrimes(6, 40, n));
+    auto to = std::make_shared<RnsBasis>(
+        n, genNttPrimes(6, 40, n, from->primes()));
+    BaseConverter bc(from, to);
+    Rng rng(2);
+    RnsPoly a(from, PolyFormat::Coeff);
+    a.sampleUniform(rng);
+    for (auto _ : state) {
+        RnsPoly out = bc.convert(a);
+        benchmark::DoNotOptimize(out.limb(0).data());
+    }
+}
+BENCHMARK(BM_BconvPlain);
+
+void
+BM_BconvMergedMontgomery(benchmark::State &state)
+{
+    const size_t n = 1 << 12;
+    auto from = std::make_shared<RnsBasis>(n, genNttPrimes(6, 40, n));
+    auto to = std::make_shared<RnsBasis>(
+        n, genNttPrimes(6, 40, n, from->primes()));
+    BaseConverter bc(from, to);
+    Rng rng(3);
+    RnsPoly a(from, PolyFormat::Coeff);
+    a.sampleUniform(rng);
+    for (auto _ : state) {
+        RnsPoly out = bc.convertMontgomery(a, true);
+        benchmark::DoNotOptimize(out.limb(0).data());
+    }
+}
+BENCHMARK(BM_BconvMergedMontgomery);
+
+void
+BM_AutomorphismEval(benchmark::State &state)
+{
+    const size_t n = 1 << 14;
+    AutoPermutation perm(n, galoisElt(3, n));
+    Rng rng(4);
+    std::vector<u64> in(n), out(n);
+    for (auto &c : in)
+        c = rng.next();
+    for (auto _ : state) {
+        perm.apply(in.data(), out.data());
+        benchmark::DoNotOptimize(out.data());
+    }
+}
+BENCHMARK(BM_AutomorphismEval);
+
+void
+BM_FixedNetworkTranspose(benchmark::State &state)
+{
+    const size_t lanes = 256;
+    FixedNetwork fn(lanes);
+    Rng rng(5);
+    std::vector<u64> x(lanes * lanes);
+    for (auto &c : x)
+        c = rng.next();
+    for (auto _ : state) {
+        auto out = fn.transposeFromBitrev(x);
+        benchmark::DoNotOptimize(out.data());
+    }
+}
+BENCHMARK(BM_FixedNetworkTranspose);
+
+} // namespace
+
+BENCHMARK_MAIN();

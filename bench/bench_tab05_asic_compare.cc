@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Table V — ASIC resource comparison with technology scaling to 28 nm
+ * (HBM kept unscaled), plus the relative-area ratios the paper quotes.
+ */
+#include "bench_common.h"
+#include "model/baselines.h"
+#include "model/area_power.h"
+
+using namespace effact;
+
+int
+main()
+{
+    ChipCost effact = estimateAsic(HardwareConfig::asicEffact27());
+
+    Table table("Table V — ASIC resource comparison");
+    table.header({"design", "tech", "freq (GHz)", "area (mm^2)",
+                  "power (W)", "area@28nm", "EFFACT/base area"});
+    for (const char *name : {"F1", "BTS", "CraterLake", "ARK",
+                             "CL+MAD-32"}) {
+        const BaselineSpec &b = baseline(name);
+        table.row({b.name, techName(b.tech), Table::num(b.freqGhz, 3),
+                   Table::num(b.areaMm2, 4), Table::num(b.powerW, 4),
+                   Table::num(b.scaledAreaMm2(), 4),
+                   Table::num(effact.totalAreaMm2 / b.scaledAreaMm2(),
+                              3)});
+    }
+    table.row({"ASIC-EFFACT", "28nm", "0.5",
+               Table::num(effact.totalAreaMm2, 4),
+               Table::num(effact.totalPowerW, 4),
+               Table::num(effact.totalAreaMm2, 4), "1"});
+    table.print();
+
+    std::puts("Paper reference (Table V): ASIC-EFFACT needs 0.783x,");
+    std::puts("0.153x, 0.257x, 0.137x, 0.414x the area of F1, BTS,");
+    std::puts("CraterLake, ARK, CL+MAD-32 after scaling to 28 nm.");
+    return 0;
+}

@@ -1,0 +1,259 @@
+#include "bgv/bgv.h"
+
+#include <cmath>
+
+#include "common/bitops.h"
+#include "common/logging.h"
+#include "math/automorphism.h"
+#include "math/primes.h"
+
+namespace effact {
+
+BgvScheme::BgvScheme(const BgvParams &params, Rng &rng)
+    : params_(params), n_(size_t(1) << params.logN), rng_(rng)
+{
+    EFFACT_ASSERT(isPrime(params.t) && (params.t - 1) % (2 * n_) == 0,
+                  "plaintext modulus must be prime with t ≡ 1 (mod 2N)");
+    q_ = genNttPrimes(1, params.logQ, n_)[0];
+    barrett_ = Barrett(q_);
+    ntt_q_ = std::make_unique<Ntt>(n_, q_);
+    ntt_t_ = std::make_unique<Ntt>(n_, params.t);
+
+    // Ternary secret.
+    std::vector<i64> s_coeff(n_);
+    for (auto &c : s_coeff)
+        c = rng.ternary();
+    s_eval_.resize(n_);
+    for (size_t i = 0; i < n_; ++i)
+        s_eval_[i] = reduceSigned(s_coeff[i], q_);
+    ntt_q_->forward(s_eval_.data());
+
+    digits_ = ceilDiv(params.logQ, params.decompLog);
+
+    // Relinearization key for s^2.
+    std::vector<u64> s2(n_);
+    for (size_t i = 0; i < n_; ++i)
+        s2[i] = barrett_.mul(s_eval_[i], s_eval_[i]);
+    genKswKey(s2, relin_b_, relin_a_);
+}
+
+std::vector<u64>
+BgvScheme::sampleUniformEval()
+{
+    std::vector<u64> a(n_);
+    for (auto &c : a)
+        c = rng_.uniform(q_);
+    return a;
+}
+
+std::vector<u64>
+BgvScheme::sampleErrorTimesT()
+{
+    std::vector<u64> e(n_);
+    for (auto &c : e) {
+        i64 v = static_cast<i64>(std::llround(rng_.gaussian(params_.sigma)));
+        c = reduceSigned(v * static_cast<i64>(params_.t), q_);
+    }
+    ntt_q_->forward(e.data());
+    return e;
+}
+
+void
+BgvScheme::genKswKey(const std::vector<u64> &s_from_eval,
+                     std::vector<std::vector<u64>> &key_b,
+                     std::vector<std::vector<u64>> &key_a)
+{
+    key_b.assign(digits_, {});
+    key_a.assign(digits_, {});
+    for (size_t d = 0; d < digits_; ++d) {
+        const u64 base = (d * params_.decompLog < 63)
+                             ? (1ULL << (d * params_.decompLog)) % q_
+                             : powMod(2, d * params_.decompLog, q_);
+        std::vector<u64> a = sampleUniformEval();
+        std::vector<u64> b = sampleErrorTimesT();
+        for (size_t i = 0; i < n_; ++i) {
+            u64 as = barrett_.mul(a[i], s_eval_[i]);
+            u64 gs = barrett_.mul(base, s_from_eval[i]);
+            b[i] = addMod(subMod(gs, as, q_), b[i], q_);
+        }
+        key_b[d] = std::move(b);
+        key_a[d] = std::move(a);
+    }
+}
+
+std::vector<u64>
+BgvScheme::encode(const std::vector<u64> &slots_vals) const
+{
+    EFFACT_ASSERT(slots_vals.size() == n_, "BGV encode expects N slots");
+    std::vector<u64> poly(n_);
+    for (size_t i = 0; i < n_; ++i)
+        poly[i] = slots_vals[i] % params_.t;
+    ntt_t_->backward(poly.data()); // slots are the NTT-domain view mod t
+    return poly;
+}
+
+std::vector<u64>
+BgvScheme::decode(const std::vector<u64> &poly) const
+{
+    std::vector<u64> slots = poly;
+    ntt_t_->forward(slots.data());
+    return slots;
+}
+
+BgvCiphertext
+BgvScheme::encrypt(const std::vector<u64> &plain)
+{
+    EFFACT_ASSERT(plain.size() == n_, "plaintext size mismatch");
+    // Lift plaintext coefficients (mod t, centered) into mod q.
+    std::vector<u64> m(n_);
+    for (size_t i = 0; i < n_; ++i)
+        m[i] = reduceSigned(centered(plain[i] % params_.t, params_.t), q_);
+    ntt_q_->forward(m.data());
+
+    std::vector<u64> c1 = sampleUniformEval();
+    std::vector<u64> c0 = sampleErrorTimesT();
+    for (size_t i = 0; i < n_; ++i) {
+        u64 cs = barrett_.mul(c1[i], s_eval_[i]);
+        c0[i] = addMod(c0[i], subMod(m[i], cs, q_), q_);
+    }
+    BgvCiphertext ct;
+    ct.polys.push_back(std::move(c0));
+    ct.polys.push_back(std::move(c1));
+    return ct;
+}
+
+std::vector<u64>
+BgvScheme::decrypt(const BgvCiphertext &ct) const
+{
+    EFFACT_ASSERT(ct.polys.size() >= 2 && ct.polys.size() <= 3,
+                  "unsupported BGV ciphertext size");
+    std::vector<u64> m(n_);
+    for (size_t i = 0; i < n_; ++i) {
+        u64 acc = addMod(ct.polys[0][i],
+                         barrett_.mul(ct.polys[1][i], s_eval_[i]), q_);
+        if (ct.polys.size() == 3) {
+            u64 s2 = barrett_.mul(s_eval_[i], s_eval_[i]);
+            acc = addMod(acc, barrett_.mul(ct.polys[2][i], s2), q_);
+        }
+        m[i] = acc;
+    }
+    ntt_q_->backward(m.data());
+    // Centered reduction mod t recovers the plaintext coefficients.
+    for (auto &c : m)
+        c = reduceSigned(centered(c, q_), params_.t);
+    return m;
+}
+
+BgvCiphertext
+BgvScheme::add(const BgvCiphertext &a, const BgvCiphertext &b) const
+{
+    EFFACT_ASSERT(a.polys.size() == b.polys.size(), "size mismatch");
+    BgvCiphertext out = a;
+    for (size_t k = 0; k < out.polys.size(); ++k)
+        for (size_t i = 0; i < n_; ++i)
+            out.polys[k][i] = addMod(out.polys[k][i], b.polys[k][i], q_);
+    return out;
+}
+
+BgvCiphertext
+BgvScheme::addPlain(const BgvCiphertext &a, const std::vector<u64> &plain)
+    const
+{
+    std::vector<u64> m(n_);
+    for (size_t i = 0; i < n_; ++i)
+        m[i] = reduceSigned(centered(plain[i] % params_.t, params_.t), q_);
+    ntt_q_->forward(m.data());
+    BgvCiphertext out = a;
+    for (size_t i = 0; i < n_; ++i)
+        out.polys[0][i] = addMod(out.polys[0][i], m[i], q_);
+    return out;
+}
+
+BgvCiphertext
+BgvScheme::multPlain(const BgvCiphertext &a, const std::vector<u64> &plain)
+    const
+{
+    std::vector<u64> m(n_);
+    for (size_t i = 0; i < n_; ++i)
+        m[i] = reduceSigned(centered(plain[i] % params_.t, params_.t), q_);
+    ntt_q_->forward(m.data());
+    BgvCiphertext out = a;
+    for (auto &poly : out.polys)
+        for (size_t i = 0; i < n_; ++i)
+            poly[i] = barrett_.mul(poly[i], m[i]);
+    return out;
+}
+
+void
+BgvScheme::keySwitchAccum(const std::vector<u64> &target_eval,
+                          const std::vector<std::vector<u64>> &key_b,
+                          const std::vector<std::vector<u64>> &key_a,
+                          std::vector<u64> &c0, std::vector<u64> &c1) const
+{
+    // Word-decompose the target in coefficient space, then dot with the
+    // key digits back in Eval space.
+    std::vector<u64> coeff = target_eval;
+    ntt_q_->backward(coeff.data());
+
+    const u64 mask = (1ULL << params_.decompLog) - 1;
+    for (size_t d = 0; d < digits_; ++d) {
+        std::vector<u64> digit(n_);
+        for (size_t i = 0; i < n_; ++i)
+            digit[i] = (coeff[i] >> (d * params_.decompLog)) & mask;
+        ntt_q_->forward(digit.data());
+        for (size_t i = 0; i < n_; ++i) {
+            c0[i] = addMod(c0[i], barrett_.mul(digit[i], key_b[d][i]), q_);
+            c1[i] = addMod(c1[i], barrett_.mul(digit[i], key_a[d][i]), q_);
+        }
+    }
+}
+
+BgvCiphertext
+BgvScheme::mult(const BgvCiphertext &a, const BgvCiphertext &b) const
+{
+    EFFACT_ASSERT(a.polys.size() == 2 && b.polys.size() == 2,
+                  "mult expects relinearized inputs");
+    std::vector<u64> d0(n_), d1(n_), d2(n_);
+    for (size_t i = 0; i < n_; ++i) {
+        d0[i] = barrett_.mul(a.polys[0][i], b.polys[0][i]);
+        d1[i] = addMod(barrett_.mul(a.polys[0][i], b.polys[1][i]),
+                       barrett_.mul(a.polys[1][i], b.polys[0][i]), q_);
+        d2[i] = barrett_.mul(a.polys[1][i], b.polys[1][i]);
+    }
+    keySwitchAccum(d2, relin_b_, relin_a_, d0, d1);
+    BgvCiphertext out;
+    out.polys.push_back(std::move(d0));
+    out.polys.push_back(std::move(d1));
+    return out;
+}
+
+BgvCiphertext
+BgvScheme::rotate(const BgvCiphertext &ct, int steps)
+{
+    EFFACT_ASSERT(ct.polys.size() == 2, "rotate expects a 2-poly ct");
+    const u64 t_elt = galoisElt(steps, n_);
+    auto it = galois_.find(t_elt);
+    if (it == galois_.end()) {
+        AutoPermutation perm(n_, t_elt);
+        std::vector<u64> s_rot(n_);
+        perm.apply(s_eval_.data(), s_rot.data());
+        std::pair<std::vector<std::vector<u64>>,
+                  std::vector<std::vector<u64>>> key;
+        genKswKey(s_rot, key.first, key.second);
+        it = galois_.emplace(t_elt, std::move(key)).first;
+    }
+
+    AutoPermutation perm(n_, t_elt);
+    std::vector<u64> c0r(n_), c1r(n_);
+    perm.apply(ct.polys[0].data(), c0r.data());
+    perm.apply(ct.polys[1].data(), c1r.data());
+
+    std::vector<u64> k1(n_, 0);
+    keySwitchAccum(c1r, it->second.first, it->second.second, c0r, k1);
+    BgvCiphertext out;
+    out.polys.push_back(std::move(c0r));
+    out.polys.push_back(std::move(k1));
+    return out;
+}
+
+} // namespace effact

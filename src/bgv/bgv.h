@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Compact BGV scheme (Sec. VI-D: EFFACT accelerates BGV workloads such
+ * as HElib's DB-Lookup). Exact integer arithmetic mod a plaintext prime
+ * t with SIMD slot packing via the NTT mod t. Single-modulus variant
+ * with word-decomposed relinearization — enough depth for the lookup
+ * workloads while sharing the residue-polynomial substrate.
+ */
+#ifndef EFFACT_BGV_BGV_H
+#define EFFACT_BGV_BGV_H
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "math/ntt.h"
+#include "rns/poly.h"
+
+namespace effact {
+
+/** BGV parameters. */
+struct BgvParams
+{
+    size_t logN = 10;       ///< ring degree 2^logN
+    unsigned logQ = 58;     ///< ciphertext modulus bits
+    u64 t = 65537;          ///< plaintext modulus, prime, t ≡ 1 (mod 2N)
+    unsigned decompLog = 16;///< relinearization digit width (bits)
+    double sigma = 3.2;     ///< error stddev
+};
+
+/** BGV ciphertext: (c0, c1) in Eval format over the single-prime basis. */
+struct BgvCiphertext
+{
+    std::vector<std::vector<u64>> polys; ///< Eval-format, size 2 or 3
+};
+
+/** Full BGV context: keys, encoder and evaluator in one object. */
+class BgvScheme
+{
+  public:
+    BgvScheme(const BgvParams &params, Rng &rng);
+
+    const BgvParams &params() const { return params_; }
+    size_t degree() const { return n_; }
+    size_t slots() const { return n_; }
+    u64 plainModulus() const { return params_.t; }
+    u64 q() const { return q_; }
+
+    /** Packs `n` integer slots (mod t) into a plaintext polynomial. */
+    std::vector<u64> encode(const std::vector<u64> &slots_vals) const;
+
+    /** Unpacks a plaintext polynomial into slots (mod t). */
+    std::vector<u64> decode(const std::vector<u64> &poly) const;
+
+    /** Encrypts an encoded plaintext polynomial. */
+    BgvCiphertext encrypt(const std::vector<u64> &plain);
+
+    /** Decrypts to the encoded plaintext polynomial. */
+    std::vector<u64> decrypt(const BgvCiphertext &ct) const;
+
+    /** Slot-wise ciphertext addition. */
+    BgvCiphertext add(const BgvCiphertext &a, const BgvCiphertext &b) const;
+
+    /** Slot-wise addition of a plaintext. */
+    BgvCiphertext addPlain(const BgvCiphertext &a,
+                           const std::vector<u64> &plain) const;
+
+    /** Slot-wise multiplication by a plaintext. */
+    BgvCiphertext multPlain(const BgvCiphertext &a,
+                            const std::vector<u64> &plain) const;
+
+    /** Ciphertext multiplication with relinearization. */
+    BgvCiphertext mult(const BgvCiphertext &a, const BgvCiphertext &b)
+        const;
+
+    /** Slot rotation by `steps` (generates Galois keys lazily). */
+    BgvCiphertext rotate(const BgvCiphertext &ct, int steps);
+
+  private:
+    /** Decompose-and-dot key switch of `target` under `key`. */
+    void keySwitchAccum(const std::vector<u64> &target_eval,
+                        const std::vector<std::vector<u64>> &key_b,
+                        const std::vector<std::vector<u64>> &key_a,
+                        std::vector<u64> &c0, std::vector<u64> &c1) const;
+
+    /** Builds a decomposition key for source key polynomial s'. */
+    void genKswKey(const std::vector<u64> &s_from_eval,
+                   std::vector<std::vector<u64>> &key_b,
+                   std::vector<std::vector<u64>> &key_a);
+
+    std::vector<u64> sampleErrorTimesT();
+    std::vector<u64> sampleUniformEval();
+
+    BgvParams params_;
+    size_t n_;
+    u64 q_;
+    Barrett barrett_;
+    std::unique_ptr<Ntt> ntt_q_;
+    std::unique_ptr<Ntt> ntt_t_;
+    Rng &rng_;
+
+    std::vector<u64> s_eval_; ///< secret key, Eval format mod q
+    size_t digits_;           ///< relin decomposition digit count
+    std::vector<std::vector<u64>> relin_b_, relin_a_;
+    /** Galois keys per element, generated on demand. */
+    std::map<u64, std::pair<std::vector<std::vector<u64>>,
+                            std::vector<std::vector<u64>>>> galois_;
+};
+
+} // namespace effact
+
+#endif // EFFACT_BGV_BGV_H

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * CKKS bootstrapping (Sec. V-A of the paper): ModRaise, CoeffToSlot,
+ * EvalMod (scaled-sine approximation via Chebyshev BSGS evaluation) and
+ * SlotToCoeff. Fully-packed: slots = N/2, CtS/StC are dense homomorphic
+ * DFT-like transforms realized with the diagonal method.
+ */
+#ifndef EFFACT_CKKS_BOOTSTRAP_H
+#define EFFACT_CKKS_BOOTSTRAP_H
+
+#include <memory>
+
+#include "ckks/linear_transform.h"
+#include "math/cheby.h"
+
+namespace effact {
+
+/** Knobs of the bootstrapping pipeline. */
+struct BootstrapConfig
+{
+    /**
+     * Chebyshev degree of the EvalMod sine. Must exceed the argument
+     * span in radians, 2*pi*(kRange+1), with margin.
+     */
+    size_t sineDegree = 255;
+    size_t babySteps = 16; ///< BSGS baby-step count (power of two)
+    /**
+     * Probabilistic bound K on the ModRaise overflow |I| (standard
+     * practice: K=12 covers sparse ternary secrets with h <= 64).
+     */
+    double kRange = 12.0;
+};
+
+/** Precomputed bootstrapper bound to a context/evaluator. */
+class Bootstrapper
+{
+  public:
+    Bootstrapper(const CkksContext &ctx, const CkksEncoder &encoder,
+                 const CkksEvaluator &eval,
+                 const BootstrapConfig &config = {});
+
+    /** Rotation steps the Galois key set must cover. */
+    std::vector<int> requiredRotations() const;
+
+    /** Full pipeline: level-1 ciphertext in, refreshed ciphertext out. */
+    Ciphertext bootstrap(const Ciphertext &ct) const;
+
+    // --- Individual stages (exposed for tests and benchmarks) -----------
+
+    /** Re-interprets the level-1 ciphertext on the full chain (m + q0 I) */
+    Ciphertext modRaise(const Ciphertext &ct) const;
+
+    /** Coefficients -> slots; returns (lo, hi) halves. One level. */
+    std::pair<Ciphertext, Ciphertext> coeffToSlot(const Ciphertext &ct)
+        const;
+
+    /** Approximate x mod q0 on every slot via the scaled sine. */
+    Ciphertext evalMod(const Ciphertext &ct) const;
+
+    /** Slots -> coefficients, merging the (lo, hi) halves. One level. */
+    Ciphertext slotToCoeff(const Ciphertext &lo, const Ciphertext &hi)
+        const;
+
+    /**
+     * Homomorphic Chebyshev-series evaluation (Han-Ki BSGS): `y` must
+     * hold values in [-1, 1]; depth is about log2(degree) + 1.
+     */
+    Ciphertext evalChebyshev(const ChebyshevSeries &series,
+                             const Ciphertext &y) const;
+
+    const BootstrapConfig &config() const { return config_; }
+    const ChebyshevSeries &sineSeries() const { return sine_; }
+
+  private:
+    /** Base case: direct sum over baby-step Chebyshev polynomials. */
+    Ciphertext evalChebyBase(const std::vector<double> &coeffs,
+                             const std::vector<Ciphertext> &baby) const;
+
+    /** Recursive BSGS combine. */
+    Ciphertext evalChebyRec(std::vector<double> coeffs,
+                            const std::vector<Ciphertext> &baby,
+                            const std::vector<Ciphertext> &giant) const;
+
+    const CkksContext &ctx_;
+    const CkksEncoder &encoder_;
+    const CkksEvaluator &eval_;
+    BootstrapConfig config_;
+
+    std::unique_ptr<LinearTransform> cts_a_lo_, cts_b_lo_;
+    std::unique_ptr<LinearTransform> cts_a_hi_, cts_b_hi_;
+    std::unique_ptr<LinearTransform> stc_lo_, stc_hi_;
+    ChebyshevSeries sine_;
+};
+
+} // namespace effact
+
+#endif // EFFACT_CKKS_BOOTSTRAP_H

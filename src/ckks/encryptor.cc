@@ -1,0 +1,73 @@
+#include "ckks/encryptor.h"
+
+#include "common/logging.h"
+
+namespace effact {
+
+CkksEncryptor::CkksEncryptor(const CkksContext &ctx, const SecretKey &sk,
+                             Rng &rng)
+    : ctx_(ctx), sk_(sk), noise_(ctx, rng), rng_(rng)
+{
+}
+
+RnsPoly
+CkksEncryptor::secretAtLevel(size_t level) const
+{
+    std::vector<size_t> idx(level);
+    for (size_t j = 0; j < level; ++j)
+        idx[j] = j;
+    return RnsPoly::gather(sk_.s, ctx_.qBasisAt(level), idx);
+}
+
+Ciphertext
+CkksEncryptor::encrypt(const Plaintext &pt)
+{
+    EFFACT_ASSERT(pt.poly.format() == PolyFormat::Eval,
+                  "encrypt expects Eval-format plaintext");
+    const size_t level = pt.poly.limbCount();
+    RnsPoly s = secretAtLevel(level);
+
+    RnsPoly c1(pt.poly.basisPtr(), PolyFormat::Eval);
+    c1.sampleUniform(rng_);
+    RnsPoly e = noise_.sampleError(pt.poly.basisPtr());
+
+    // c0 = -c1*s + m + e so that c0 + c1*s = m + e.
+    RnsPoly c0 = c1;
+    c0.mulEvalInPlace(s);
+    c0.negInPlace();
+    c0.addInPlace(pt.poly);
+    c0.addInPlace(e);
+
+    Ciphertext ct;
+    ct.scale = pt.scale;
+    ct.polys.push_back(std::move(c0));
+    ct.polys.push_back(std::move(c1));
+    return ct;
+}
+
+Plaintext
+CkksEncryptor::decrypt(const Ciphertext &ct) const
+{
+    EFFACT_ASSERT(ct.size() >= 2 && ct.size() <= 3,
+                  "unsupported ciphertext size %zu", ct.size());
+    const size_t level = ct.level();
+    RnsPoly s = secretAtLevel(level);
+
+    // m = c0 + c1*s (+ c2*s^2).
+    RnsPoly m = ct.polys[1];
+    m.mulEvalInPlace(s);
+    m.addInPlace(ct.polys[0]);
+    if (ct.size() == 3) {
+        RnsPoly c2s2 = ct.polys[2];
+        c2s2.mulEvalInPlace(s);
+        c2s2.mulEvalInPlace(s);
+        m.addInPlace(c2s2);
+    }
+
+    Plaintext pt;
+    pt.scale = ct.scale;
+    pt.poly = std::move(m);
+    return pt;
+}
+
+} // namespace effact

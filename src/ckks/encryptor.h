@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Symmetric CKKS encryption/decryption. The paper's platform operates
+ * server-side on ciphertexts; encryption here exists to give the test
+ * suite and examples a functional end-to-end path (the stand-in for the
+ * paper's Lattigo cross-validation).
+ */
+#ifndef EFFACT_CKKS_ENCRYPTOR_H
+#define EFFACT_CKKS_ENCRYPTOR_H
+
+#include "ckks/keys.h"
+
+namespace effact {
+
+/** Encrypts/decrypts with the secret key. */
+class CkksEncryptor
+{
+  public:
+    CkksEncryptor(const CkksContext &ctx, const SecretKey &sk, Rng &rng);
+
+    /** Encrypts an Eval-format plaintext at its basis level. */
+    Ciphertext encrypt(const Plaintext &pt);
+
+    /** Decrypts a 2- or 3-component ciphertext into a plaintext. */
+    Plaintext decrypt(const Ciphertext &ct) const;
+
+    /** Secret key restricted to the first `level` Q-chain limbs. */
+    RnsPoly secretAtLevel(size_t level) const;
+
+  private:
+    const CkksContext &ctx_;
+    const SecretKey &sk_;
+    KeyGenerator noise_;
+    Rng &rng_;
+};
+
+} // namespace effact
+
+#endif // EFFACT_CKKS_ENCRYPTOR_H

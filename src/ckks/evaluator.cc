@@ -1,0 +1,329 @@
+#include "ckks/evaluator.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "math/automorphism.h"
+
+namespace effact {
+
+CkksEvaluator::CkksEvaluator(const CkksContext &ctx,
+                             const CkksEncoder &encoder,
+                             const SwitchingKey *relin_key,
+                             const GaloisKeys *galois_keys)
+    : ctx_(ctx), encoder_(encoder), relin_key_(relin_key),
+      galois_keys_(galois_keys)
+{
+}
+
+void
+CkksEvaluator::checkAddCompatible(const Ciphertext &a,
+                                  const Ciphertext &b) const
+{
+    EFFACT_ASSERT(a.level() == b.level(),
+                  "level mismatch in add: %zu vs %zu (use levelTo)",
+                  a.level(), b.level());
+    double rel = std::fabs(a.scale - b.scale) / a.scale;
+    if (rel > 1e-4) {
+        warn("adding ciphertexts with mismatched scales (rel err %.3g)",
+             rel);
+    }
+}
+
+Ciphertext
+CkksEvaluator::add(const Ciphertext &a, const Ciphertext &b) const
+{
+    const Ciphertext *pa = &a;
+    const Ciphertext *pb = &b;
+    Ciphertext tmp;
+    if (a.level() != b.level()) {
+        if (a.level() > b.level()) {
+            tmp = levelTo(a, b.level());
+            pa = &tmp;
+        } else {
+            tmp = levelTo(b, a.level());
+            pb = &tmp;
+        }
+    }
+    checkAddCompatible(*pa, *pb);
+    Ciphertext out = *pa;
+    const size_t common = std::min(pa->size(), pb->size());
+    for (size_t i = 0; i < common; ++i)
+        out.polys[i].addInPlace(pb->polys[i]);
+    for (size_t i = common; i < pb->size(); ++i)
+        out.polys.push_back(pb->polys[i]);
+    return out;
+}
+
+Ciphertext
+CkksEvaluator::sub(const Ciphertext &a, const Ciphertext &b) const
+{
+    return add(a, negate(b));
+}
+
+Ciphertext
+CkksEvaluator::negate(const Ciphertext &ct) const
+{
+    Ciphertext out = ct;
+    for (auto &p : out.polys)
+        p.negInPlace();
+    return out;
+}
+
+Ciphertext
+CkksEvaluator::addPlain(const Ciphertext &ct, const Plaintext &pt) const
+{
+    EFFACT_ASSERT(pt.poly.limbCount() == ct.level(),
+                  "plaintext level mismatch in addPlain");
+    double rel = std::fabs(ct.scale - pt.scale) / ct.scale;
+    if (rel > 1e-4)
+        warn("addPlain scale mismatch (rel err %.3g)", rel);
+    Ciphertext out = ct;
+    out.polys[0].addInPlace(pt.poly);
+    return out;
+}
+
+Ciphertext
+CkksEvaluator::addConst(const Ciphertext &ct, cplx value) const
+{
+    Plaintext pt = encoder_.encodeConstant(value, ct.scale, ct.level());
+    return addPlain(ct, pt);
+}
+
+Ciphertext
+CkksEvaluator::multPlain(const Ciphertext &ct, const Plaintext &pt) const
+{
+    EFFACT_ASSERT(pt.poly.limbCount() == ct.level(),
+                  "plaintext level mismatch in multPlain");
+    EFFACT_ASSERT(pt.poly.format() == PolyFormat::Eval,
+                  "multPlain expects Eval-format plaintext");
+    Ciphertext out = ct;
+    for (auto &p : out.polys)
+        p.mulEvalInPlace(pt.poly);
+    out.scale = ct.scale * pt.scale;
+    return out;
+}
+
+Ciphertext
+CkksEvaluator::multConst(const Ciphertext &ct, cplx value,
+                         double const_scale) const
+{
+    Plaintext pt = encoder_.encodeConstant(value, const_scale, ct.level());
+    return multPlain(ct, pt);
+}
+
+Ciphertext
+CkksEvaluator::mult(const Ciphertext &a, const Ciphertext &b) const
+{
+    EFFACT_ASSERT(relin_key_ != nullptr, "mult requires a relin key");
+    EFFACT_ASSERT(a.size() == 2 && b.size() == 2,
+                  "mult expects relinearized inputs");
+    const Ciphertext *pa = &a;
+    const Ciphertext *pb = &b;
+    Ciphertext tmp;
+    if (a.level() != b.level()) {
+        if (a.level() > b.level()) {
+            tmp = levelTo(a, b.level());
+            pa = &tmp;
+        } else {
+            tmp = levelTo(b, a.level());
+            pb = &tmp;
+        }
+    }
+
+    // (d0, d1, d2) = (a0 b0, a0 b1 + a1 b0, a1 b1).
+    RnsPoly d0 = pa->polys[0];
+    d0.mulEvalInPlace(pb->polys[0]);
+    RnsPoly d1a = pa->polys[0];
+    d1a.mulEvalInPlace(pb->polys[1]);
+    RnsPoly d1b = pa->polys[1];
+    d1b.mulEvalInPlace(pb->polys[0]);
+    d1a.addInPlace(d1b);
+    RnsPoly d2 = pa->polys[1];
+    d2.mulEvalInPlace(pb->polys[1]);
+
+    auto [k0, k1] = keySwitch(d2, *relin_key_);
+    d0.addInPlace(k0);
+    d1a.addInPlace(k1);
+
+    Ciphertext out;
+    out.scale = pa->scale * pb->scale;
+    out.polys.push_back(std::move(d0));
+    out.polys.push_back(std::move(d1a));
+    return out;
+}
+
+Ciphertext
+CkksEvaluator::square(const Ciphertext &ct) const
+{
+    return mult(ct, ct);
+}
+
+Ciphertext
+CkksEvaluator::rescale(const Ciphertext &ct) const
+{
+    const size_t level = ct.level();
+    EFFACT_ASSERT(level >= 2, "cannot rescale at level %zu", level);
+    const u64 q_last = ctx_.qBasis()->prime(level - 1);
+    auto new_basis = ctx_.qBasisAt(level - 1);
+
+    Ciphertext out;
+    out.scale = ct.scale / static_cast<double>(q_last);
+    for (const auto &poly : ct.polys) {
+        RnsPoly c = poly;
+        c.toCoeff();
+        RnsPoly dropped(new_basis, PolyFormat::Coeff);
+        const auto &last = c.limb(level - 1);
+        for (size_t j = 0; j + 1 < level; ++j) {
+            const u64 qj = ctx_.qBasis()->prime(j);
+            const u64 inv = invMod(q_last % qj, qj);
+            const Barrett &br = ctx_.qBasis()->limb(j).barrett;
+            auto &dst = dropped.limb(j);
+            const auto &src = c.limb(j);
+            for (size_t i = 0; i < src.size(); ++i) {
+                u64 t = subMod(src[i], last[i] % qj, qj);
+                dst[i] = br.mul(t, inv);
+            }
+        }
+        dropped.toEval();
+        out.polys.push_back(std::move(dropped));
+    }
+    return out;
+}
+
+Ciphertext
+CkksEvaluator::levelTo(const Ciphertext &ct, size_t target_level) const
+{
+    EFFACT_ASSERT(target_level >= 1 && target_level <= ct.level(),
+                  "levelTo target %zu invalid from %zu", target_level,
+                  ct.level());
+    if (target_level == ct.level())
+        return ct;
+    Ciphertext out;
+    out.scale = ct.scale;
+    for (const auto &poly : ct.polys)
+        out.polys.push_back(poly.prefixLimbs(target_level));
+    return out;
+}
+
+Ciphertext
+CkksEvaluator::rotate(const Ciphertext &ct, int steps) const
+{
+    EFFACT_ASSERT(galois_keys_ != nullptr, "rotate requires Galois keys");
+    if (steps == 0)
+        return ct;
+    const u64 t = galoisElt(steps, ctx_.degree());
+    auto it = galois_keys_->find(t);
+    EFFACT_ASSERT(it != galois_keys_->end(),
+                  "missing Galois key for step %d (element %llu)", steps,
+                  static_cast<unsigned long long>(t));
+
+    RnsPoly c0r = ct.polys[0].automorph(t);
+    RnsPoly c1r = ct.polys[1].automorph(t);
+    auto [k0, k1] = keySwitch(c1r, it->second);
+    c0r.addInPlace(k0);
+
+    Ciphertext out;
+    out.scale = ct.scale;
+    out.polys.push_back(std::move(c0r));
+    out.polys.push_back(std::move(k1));
+    return out;
+}
+
+Ciphertext
+CkksEvaluator::conjugate(const Ciphertext &ct) const
+{
+    EFFACT_ASSERT(galois_keys_ != nullptr,
+                  "conjugate requires Galois keys");
+    const u64 t = galoisEltConjugate(ctx_.degree());
+    auto it = galois_keys_->find(t);
+    EFFACT_ASSERT(it != galois_keys_->end(), "missing conjugation key");
+
+    RnsPoly c0r = ct.polys[0].automorph(t);
+    RnsPoly c1r = ct.polys[1].automorph(t);
+    auto [k0, k1] = keySwitch(c1r, it->second);
+    c0r.addInPlace(k0);
+
+    Ciphertext out;
+    out.scale = ct.scale;
+    out.polys.push_back(std::move(c0r));
+    out.polys.push_back(std::move(k1));
+    return out;
+}
+
+RnsPoly
+CkksEvaluator::restrictKeyPoly(const RnsPoly &kp, size_t level) const
+{
+    const size_t levels = ctx_.levels();
+    const size_t alpha = ctx_.alpha();
+    std::vector<size_t> idx;
+    idx.reserve(level + alpha);
+    for (size_t j = 0; j < level; ++j)
+        idx.push_back(j);
+    for (size_t j = 0; j < alpha; ++j)
+        idx.push_back(levels + j);
+    return RnsPoly::gather(kp, ctx_.qpBasisAt(level), idx);
+}
+
+RnsPoly
+CkksEvaluator::modDown(RnsPoly acc, size_t level) const
+{
+    const size_t alpha = ctx_.alpha();
+    acc.toCoeff();
+
+    std::vector<size_t> q_idx(level), p_idx(alpha);
+    for (size_t j = 0; j < level; ++j)
+        q_idx[j] = j;
+    for (size_t j = 0; j < alpha; ++j)
+        p_idx[j] = level + j;
+    RnsPoly q_part = RnsPoly::gather(acc, ctx_.qBasisAt(level), q_idx);
+    RnsPoly p_part = RnsPoly::gather(acc, ctx_.pBasis(), p_idx);
+
+    RnsPoly conv = ctx_.modDownConverter(level).convertExact(p_part);
+    q_part.subInPlace(conv);
+
+    std::vector<u64> p_inv(level);
+    for (size_t j = 0; j < level; ++j)
+        p_inv[j] = ctx_.pInvModQ(j);
+    q_part.mulScalarPerLimb(p_inv);
+    q_part.toEval();
+    return q_part;
+}
+
+std::pair<RnsPoly, RnsPoly>
+CkksEvaluator::keySwitch(const RnsPoly &d, const SwitchingKey &key) const
+{
+    const size_t level = d.limbCount();
+    RnsPoly dc = d;
+    dc.toCoeff();
+
+    auto qp_basis = ctx_.qpBasisAt(level);
+    RnsPoly acc0(qp_basis, PolyFormat::Eval);
+    RnsPoly acc1(qp_basis, PolyFormat::Eval);
+
+    const size_t digits = ctx_.digitCount(level);
+    EFFACT_ASSERT(digits <= key.b.size(), "switching key has too few digits");
+    for (size_t digit = 0; digit < digits; ++digit) {
+        auto [begin, end] = ctx_.digitRange(digit, level);
+        std::vector<size_t> idx;
+        for (size_t j = begin; j < end; ++j)
+            idx.push_back(j);
+        RnsPoly digit_poly = RnsPoly::gather(
+            dc, ctx_.qBasis()->range(begin, end), idx);
+
+        RnsPoly up = ctx_.modUpConverter(digit, level).convert(digit_poly);
+        up.toEval();
+
+        RnsPoly prod_b = up;
+        prod_b.mulEvalInPlace(restrictKeyPoly(key.b[digit], level));
+        acc0.addInPlace(prod_b);
+
+        up.mulEvalInPlace(restrictKeyPoly(key.a[digit], level));
+        acc1.addInPlace(up);
+    }
+
+    return {modDown(std::move(acc0), level), modDown(std::move(acc1),
+                                                     level)};
+}
+
+} // namespace effact

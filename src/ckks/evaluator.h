@@ -1,0 +1,94 @@
+/**
+ * @file
+ * CKKS homomorphic evaluator: HADD/HMULT/HROT (Fig. 1b level 2),
+ * rescale, and dnum-digit key switching with ModUp/ModDown (Sec. II-C).
+ */
+#ifndef EFFACT_CKKS_EVALUATOR_H
+#define EFFACT_CKKS_EVALUATOR_H
+
+#include "ckks/encoder.h"
+#include "ckks/keys.h"
+
+namespace effact {
+
+/** Evaluator bound to a context plus optional relin/Galois keys. */
+class CkksEvaluator
+{
+  public:
+    CkksEvaluator(const CkksContext &ctx, const CkksEncoder &encoder,
+                  const SwitchingKey *relin_key = nullptr,
+                  const GaloisKeys *galois_keys = nullptr);
+
+    // --- Arithmetic -----------------------------------------------------
+
+    /** Homomorphic addition (levels are aligned automatically). */
+    Ciphertext add(const Ciphertext &a, const Ciphertext &b) const;
+
+    /** Homomorphic subtraction. */
+    Ciphertext sub(const Ciphertext &a, const Ciphertext &b) const;
+
+    /** ct + encoded plaintext (same level; scale must match). */
+    Ciphertext addPlain(const Ciphertext &ct, const Plaintext &pt) const;
+
+    /** ct + constant in every slot (encoded at ct's scale). */
+    Ciphertext addConst(const Ciphertext &ct, cplx value) const;
+
+    /** ct * encoded plaintext; scale multiplies; no rescale. */
+    Ciphertext multPlain(const Ciphertext &ct, const Plaintext &pt) const;
+
+    /** ct * constant; the constant is encoded at `const_scale`. */
+    Ciphertext multConst(const Ciphertext &ct, cplx value,
+                         double const_scale) const;
+
+    /** Negation. */
+    Ciphertext negate(const Ciphertext &ct) const;
+
+    /** HMULT with relinearization; scale multiplies; no rescale. */
+    Ciphertext mult(const Ciphertext &a, const Ciphertext &b) const;
+
+    /** Square with relinearization. */
+    Ciphertext square(const Ciphertext &ct) const;
+
+    // --- Maintenance (Fig. 1b level 1.5) --------------------------------
+
+    /** Divides by the last chain prime; drops one level. */
+    Ciphertext rescale(const Ciphertext &ct) const;
+
+    /** Drops limbs without dividing (level alignment). */
+    Ciphertext levelTo(const Ciphertext &ct, size_t target_level) const;
+
+    /** HROT by `steps` slots (uses the matching Galois key). */
+    Ciphertext rotate(const Ciphertext &ct, int steps) const;
+
+    /** Complex conjugation of every slot. */
+    Ciphertext conjugate(const Ciphertext &ct) const;
+
+    /**
+     * Key switching: given d (a polynomial decryptable under some s'),
+     * returns (k0, k1) with k0 + k1*s ≈ d*s' (all over Q_level).
+     */
+    std::pair<RnsPoly, RnsPoly> keySwitch(const RnsPoly &d,
+                                          const SwitchingKey &key) const;
+
+    const CkksContext &context() const { return ctx_; }
+    const CkksEncoder &encoder() const { return encoder_; }
+
+  private:
+    /** Restricts a full-basis key polynomial to Q_level ∪ P. */
+    RnsPoly restrictKeyPoly(const RnsPoly &kp, size_t level) const;
+
+    /** ModDown: Q_l ∪ P -> Q_l with P division (exact converter). */
+    RnsPoly modDown(RnsPoly acc, size_t level) const;
+
+    /** Aligns b's level/scale to a's for addition-like ops. */
+    void checkAddCompatible(const Ciphertext &a, const Ciphertext &b) const;
+
+    const CkksContext &ctx_;
+    const CkksEncoder &encoder_;
+    const SwitchingKey *relin_key_;
+    const GaloisKeys *galois_keys_;
+};
+
+} // namespace effact
+
+#endif // EFFACT_CKKS_EVALUATOR_H

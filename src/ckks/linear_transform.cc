@@ -1,0 +1,65 @@
+#include "ckks/linear_transform.h"
+
+#include "common/logging.h"
+
+namespace effact {
+
+LinearTransform::LinearTransform(std::vector<cplx> matrix, size_t slots,
+                                 double prune_eps)
+    : slots_(slots)
+{
+    EFFACT_ASSERT(matrix.size() == slots * slots,
+                  "matrix must be slots x slots");
+    for (size_t d = 0; d < slots; ++d) {
+        std::vector<cplx> diag(slots);
+        bool nonzero = false;
+        for (size_t i = 0; i < slots; ++i) {
+            diag[i] = matrix[i * slots + (i + d) % slots];
+            nonzero |= std::abs(diag[i]) > prune_eps;
+        }
+        if (nonzero) {
+            steps_.push_back(static_cast<int>(d));
+            diags_.push_back(std::move(diag));
+        }
+    }
+}
+
+Ciphertext
+LinearTransform::apply(const CkksEvaluator &eval, const Ciphertext &ct)
+    const
+{
+    const CkksEncoder &encoder = eval.encoder();
+    const CkksContext &ctx = eval.context();
+    EFFACT_ASSERT(!steps_.empty(), "empty linear transform");
+
+    Ciphertext acc;
+    bool first = true;
+    for (size_t k = 0; k < steps_.size(); ++k) {
+        Ciphertext rot =
+            steps_[k] == 0 ? ct : eval.rotate(ct, steps_[k]);
+        Plaintext diag = encoder.encode(diags_[k], ctx.scale(),
+                                        rot.level());
+        Ciphertext term = eval.multPlain(rot, diag);
+        if (first) {
+            acc = std::move(term);
+            first = false;
+        } else {
+            acc = eval.add(acc, term);
+        }
+    }
+    return eval.rescale(acc);
+}
+
+Ciphertext
+applyPairedTransform(const CkksEvaluator &eval, const LinearTransform &a,
+                     const LinearTransform &b, const Ciphertext &ct,
+                     const Ciphertext &ct_conj)
+{
+    // Both halves are evaluated without rescale alignment issues because
+    // they consume exactly one multiplicative level each.
+    Ciphertext lhs = a.apply(eval, ct);
+    Ciphertext rhs = b.apply(eval, ct_conj);
+    return eval.add(lhs, rhs);
+}
+
+} // namespace effact

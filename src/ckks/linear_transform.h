@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Homomorphic linear transform (matrix-vector product on slots) via the
+ * diagonal method: out = sum_d diag_d ⊙ rotate(ct, d). This is the
+ * building block of bootstrapping's CtS/StC stages and of the MatMul1D /
+ * BlockMatMul1D patterns the paper profiles in Fig. 3.
+ */
+#ifndef EFFACT_CKKS_LINEAR_TRANSFORM_H
+#define EFFACT_CKKS_LINEAR_TRANSFORM_H
+
+#include "ckks/evaluator.h"
+
+namespace effact {
+
+/** A slots x slots complex matrix applied homomorphically. */
+class LinearTransform
+{
+  public:
+    /**
+     * `matrix` is row-major slots x slots; entries below `prune_eps` in
+     * magnitude are treated as zero when collecting diagonals.
+     */
+    LinearTransform(std::vector<cplx> matrix, size_t slots,
+                    double prune_eps = 1e-12);
+
+    /** Rotation steps needed (for Galois key generation). */
+    const std::vector<int> &requiredRotations() const { return steps_; }
+
+    /**
+     * Applies the transform: one multPlain per non-zero diagonal at the
+     * ciphertext's level, one rescale at the end (consumes one level).
+     */
+    Ciphertext apply(const CkksEvaluator &eval, const Ciphertext &ct) const;
+
+    size_t slots() const { return slots_; }
+    size_t diagonalCount() const { return steps_.size(); }
+
+  private:
+    size_t slots_;
+    std::vector<int> steps_;                 ///< non-zero diagonal indices
+    std::vector<std::vector<cplx>> diags_;   ///< diagonal vectors
+};
+
+/** out = A*x + B*conj(x), the paired form CtS/StC use (one level). */
+Ciphertext applyPairedTransform(const CkksEvaluator &eval,
+                                const LinearTransform &a,
+                                const LinearTransform &b,
+                                const Ciphertext &ct,
+                                const Ciphertext &ct_conj);
+
+} // namespace effact
+
+#endif // EFFACT_CKKS_LINEAR_TRANSFORM_H

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * CKKS plaintext and ciphertext value types.
+ */
+#ifndef EFFACT_CKKS_TYPES_H
+#define EFFACT_CKKS_TYPES_H
+
+#include <complex>
+#include <vector>
+
+#include "rns/poly.h"
+
+namespace effact {
+
+using cplx = std::complex<double>;
+
+/** An encoded message: one polynomial plus the scale it was encoded at. */
+struct Plaintext
+{
+    RnsPoly poly;
+    double scale = 1.0;
+};
+
+/**
+ * A CKKS ciphertext: 2 polynomials (3 transiently, before
+ * relinearization), the active level (= limb count) and the scale.
+ */
+struct Ciphertext
+{
+    std::vector<RnsPoly> polys;
+    double scale = 1.0;
+
+    size_t level() const { return polys.empty() ? 0 : polys[0].limbCount(); }
+    size_t size() const { return polys.size(); }
+};
+
+} // namespace effact
+
+#endif // EFFACT_CKKS_TYPES_H

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Small bit-manipulation helpers shared across the NTT, automorphism and
+ * simulator code.
+ */
+#ifndef EFFACT_COMMON_BITOPS_H
+#define EFFACT_COMMON_BITOPS_H
+
+#include <cstdint>
+
+namespace effact {
+
+/** Returns true iff `x` is a (nonzero) power of two. */
+constexpr bool
+isPowerOfTwo(uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+/** floor(log2(x)) for x > 0. */
+constexpr uint32_t
+log2Floor(uint64_t x)
+{
+    uint32_t r = 0;
+    while (x >>= 1)
+        ++r;
+    return r;
+}
+
+/** Exact log2 for powers of two. */
+constexpr uint32_t
+log2Exact(uint64_t x)
+{
+    return log2Floor(x);
+}
+
+/** Reverses the low `bits` bits of `x`. */
+constexpr uint32_t
+bitReverse(uint32_t x, uint32_t bits)
+{
+    uint32_t r = 0;
+    for (uint32_t i = 0; i < bits; ++i) {
+        r = (r << 1) | (x & 1);
+        x >>= 1;
+    }
+    return r;
+}
+
+/** Ceil division for unsigned integers. */
+constexpr uint64_t
+ceilDiv(uint64_t a, uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace effact
+
+#endif // EFFACT_COMMON_BITOPS_H

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Logging and error-handling primitives, gem5-style.
+ *
+ * `panic()` is for internal invariant violations (a bug in EFFACT itself);
+ * `fatal()` is for user errors (bad configuration, invalid parameters).
+ * `warn()`/`inform()` report conditions without stopping execution.
+ */
+#ifndef EFFACT_COMMON_LOGGING_H
+#define EFFACT_COMMON_LOGGING_H
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+namespace effact {
+
+/** Severity of a log message. */
+enum class LogLevel { Inform, Warn, Fatal, Panic };
+
+/** Global verbosity: messages below this level are suppressed. */
+void setLogVerbose(bool verbose);
+bool logVerbose();
+
+/** Formats printf-style arguments into a std::string. */
+std::string vstrprintf(const char *fmt, va_list ap);
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Internal invariant violation: prints the message and aborts.
+ * Use when EFFACT itself is broken, never for user errors.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Unrecoverable user error: prints the message and exits with code 1.
+ * Use for bad configuration or invalid arguments.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Non-fatal warning about questionable behaviour. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Informative status message (suppressed unless verbose). */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** panic() unless `cond` holds. */
+#define EFFACT_ASSERT(cond, ...)                                          \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            ::effact::panic("assertion '%s' failed at %s:%d: %s", #cond,  \
+                            __FILE__, __LINE__,                           \
+                            ::effact::strprintf(__VA_ARGS__).c_str());    \
+        }                                                                 \
+    } while (0)
+
+} // namespace effact
+
+#endif // EFFACT_COMMON_LOGGING_H

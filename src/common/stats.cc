@@ -1,0 +1,48 @@
+#include "common/stats.h"
+
+#include <sstream>
+
+namespace effact {
+
+void
+StatSet::add(const std::string &name, double delta)
+{
+    stats_[name] += delta;
+}
+
+void
+StatSet::set(const std::string &name, double value)
+{
+    stats_[name] = value;
+}
+
+double
+StatSet::get(const std::string &name) const
+{
+    auto it = stats_.find(name);
+    return it == stats_.end() ? 0.0 : it->second;
+}
+
+bool
+StatSet::has(const std::string &name) const
+{
+    return stats_.count(name) != 0;
+}
+
+void
+StatSet::merge(const StatSet &other)
+{
+    for (const auto &[name, value] : other.stats_)
+        stats_[name] += value;
+}
+
+std::string
+StatSet::toString(const std::string &prefix) const
+{
+    std::ostringstream os;
+    for (const auto &[name, value] : stats_)
+        os << prefix << name << " = " << value << "\n";
+    return os.str();
+}
+
+} // namespace effact

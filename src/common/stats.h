@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Lightweight named-statistics registry, used by the compiler passes and
+ * the cycle-level simulator to expose counters that benchmarks print.
+ */
+#ifndef EFFACT_COMMON_STATS_H
+#define EFFACT_COMMON_STATS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace effact {
+
+/** A bag of named scalar statistics (counters and gauges). */
+class StatSet
+{
+  public:
+    /** Adds `delta` to counter `name` (creating it at zero). */
+    void add(const std::string &name, double delta);
+
+    /** Sets gauge `name` to `value`. */
+    void set(const std::string &name, double value);
+
+    /** Returns the value of `name`, or 0 if absent. */
+    double get(const std::string &name) const;
+
+    /** True iff `name` has been recorded. */
+    bool has(const std::string &name) const;
+
+    /** All statistics in name order. */
+    const std::map<std::string, double> &all() const { return stats_; }
+
+    /** Merges another set into this one (summing counters). */
+    void merge(const StatSet &other);
+
+    /** Renders a human-readable block, one `name = value` line each. */
+    std::string toString(const std::string &prefix = "") const;
+
+    void clear() { stats_.clear(); }
+
+  private:
+    std::map<std::string, double> stats_;
+};
+
+} // namespace effact
+
+#endif // EFFACT_COMMON_STATS_H

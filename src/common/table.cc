@@ -1,0 +1,73 @@
+#include "common/table.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace effact {
+
+void
+Table::header(std::vector<std::string> cols)
+{
+    header_ = std::move(cols);
+}
+
+void
+Table::row(std::vector<std::string> cols)
+{
+    rows_.push_back(std::move(cols));
+}
+
+std::string
+Table::num(double v, int prec)
+{
+    std::ostringstream os;
+    os.precision(prec);
+    os << v;
+    return os.str();
+}
+
+std::string
+Table::toString() const
+{
+    // Compute column widths over header and all rows.
+    std::vector<size_t> widths;
+    auto grow = [&](const std::vector<std::string> &cols) {
+        if (widths.size() < cols.size())
+            widths.resize(cols.size(), 0);
+        for (size_t i = 0; i < cols.size(); ++i)
+            widths[i] = std::max(widths[i], cols[i].size());
+    };
+    grow(header_);
+    for (const auto &r : rows_)
+        grow(r);
+
+    std::ostringstream os;
+    os << "== " << title_ << " ==\n";
+    auto emit = [&](const std::vector<std::string> &cols) {
+        for (size_t i = 0; i < cols.size(); ++i) {
+            os << cols[i];
+            if (i + 1 < cols.size())
+                os << std::string(widths[i] - cols[i].size() + 2, ' ');
+        }
+        os << "\n";
+    };
+    if (!header_.empty()) {
+        emit(header_);
+        size_t total = 0;
+        for (size_t w : widths)
+            total += w + 2;
+        os << std::string(total, '-') << "\n";
+    }
+    for (const auto &r : rows_)
+        emit(r);
+    return os.str();
+}
+
+void
+Table::print() const
+{
+    std::fputs(toString().c_str(), stdout);
+    std::fputs("\n", stdout);
+}
+
+} // namespace effact

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Plain-text table printer used by the benchmark harnesses to render the
+ * paper's tables and figure series in a uniform way.
+ */
+#ifndef EFFACT_COMMON_TABLE_H
+#define EFFACT_COMMON_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace effact {
+
+/** Column-aligned ASCII table with a title and a header row. */
+class Table
+{
+  public:
+    explicit Table(std::string title) : title_(std::move(title)) {}
+
+    /** Sets the header row. */
+    void header(std::vector<std::string> cols);
+
+    /** Appends a data row; may be shorter than the header. */
+    void row(std::vector<std::string> cols);
+
+    /** Convenience: formats a double with `prec` significant digits. */
+    static std::string num(double v, int prec = 4);
+
+    /** Renders the table with column alignment and a rule under the title. */
+    std::string toString() const;
+
+    /** Prints to stdout. */
+    void print() const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace effact
+
+#endif // EFFACT_COMMON_TABLE_H

@@ -1,0 +1,50 @@
+#include "compiler/pass.h"
+
+#include <unordered_map>
+
+namespace effact {
+
+std::vector<std::pair<int, int>>
+runAliasAnalysis(const IrProgram &prog, StatSet &stats)
+{
+    // Andersen-style analysis degenerates to exact location tracking
+    // here: every memory access names its (object, index) pair, so two
+    // accesses alias iff the pairs match. Read-only objects never need
+    // ordering. Produces RAW/WAR/WAW edges for the scheduler.
+    struct LocState
+    {
+        int lastStore = -1;
+        std::vector<int> loadsSinceStore;
+    };
+    std::unordered_map<u64, LocState> locs;
+    auto key = [](const MemRef &m) {
+        return (static_cast<u64>(static_cast<uint32_t>(m.object)) << 32) |
+               static_cast<uint32_t>(m.index);
+    };
+
+    std::vector<std::pair<int, int>> edges;
+    for (size_t i = 0; i < prog.insts.size(); ++i) {
+        const IrInst &inst = prog.insts[i];
+        if (inst.dead || inst.mem.object < 0)
+            continue;
+        if (prog.objects[inst.mem.object].readOnly)
+            continue;
+        LocState &st = locs[key(inst.mem)];
+        if (inst.op == IrOp::Load) {
+            if (st.lastStore >= 0)
+                edges.emplace_back(st.lastStore, static_cast<int>(i));
+            st.loadsSinceStore.push_back(static_cast<int>(i));
+        } else if (inst.op == IrOp::Store) {
+            if (st.lastStore >= 0)
+                edges.emplace_back(st.lastStore, static_cast<int>(i));
+            for (int load : st.loadsSinceStore)
+                edges.emplace_back(load, static_cast<int>(i));
+            st.loadsSinceStore.clear();
+            st.lastStore = static_cast<int>(i);
+        }
+    }
+    stats.add("alias.memDepEdges", double(edges.size()));
+    return edges;
+}
+
+} // namespace effact

@@ -1,0 +1,26 @@
+#include "compiler/pass.h"
+
+namespace effact {
+
+// Machine-code emission lives in runRegAllocAndCodegen (regalloc.cc) —
+// register assignment and emission are one walk over the schedule. This
+// translation unit hosts the small shared helpers.
+
+namespace codegen_detail {
+
+/** Bytes moved over HBM by one machine instruction. */
+size_t
+hbmBytes(const MachInst &inst, size_t residue_bytes)
+{
+    size_t bytes = 0;
+    if (inst.op == Opcode::LOAD_RES || inst.op == Opcode::STORE_RES)
+        bytes += residue_bytes;
+    if (inst.src0.kind == OperandKind::Stream &&
+        inst.op != Opcode::STORE_RES)
+        bytes += residue_bytes; // streaming fill from DRAM
+    return bytes;
+}
+
+} // namespace codegen_detail
+
+} // namespace effact

@@ -1,0 +1,37 @@
+#include "compiler/pass.h"
+
+namespace effact {
+
+void
+runCopyProp(IrProgram &prog, StatSet &stats)
+{
+    // Union-find style forwarding: a Copy's value is its source's value.
+    std::vector<int> fwd(prog.insts.size());
+    for (size_t i = 0; i < fwd.size(); ++i)
+        fwd[i] = static_cast<int>(i);
+
+    auto resolve = [&](int v) {
+        while (v >= 0 && fwd[v] != v)
+            v = fwd[v];
+        return v;
+    };
+
+    size_t removed = 0;
+    for (size_t i = 0; i < prog.insts.size(); ++i) {
+        IrInst &inst = prog.insts[i];
+        if (inst.dead)
+            continue;
+        if (inst.a >= 0)
+            inst.a = resolve(inst.a);
+        if (inst.b >= 0)
+            inst.b = resolve(inst.b);
+        if (inst.op == IrOp::Copy) {
+            fwd[i] = inst.a;
+            inst.dead = true;
+            ++removed;
+        }
+    }
+    stats.add("copyProp.removed", double(removed));
+}
+
+} // namespace effact

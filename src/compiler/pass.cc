@@ -1,0 +1,44 @@
+#include "compiler/pass.h"
+
+#include "common/logging.h"
+
+namespace effact {
+
+MachineProgram
+Compiler::compile(IrProgram &prog)
+{
+    stats_.clear();
+    const size_t before = prog.liveCount();
+    stats_.set("input.instructions", double(before));
+
+    if (opts_.copyProp)
+        runCopyProp(prog, stats_);
+    if (opts_.constProp)
+        runConstProp(prog, stats_);
+    if (opts_.pre)
+        runPre(prog, stats_);
+    if (opts_.peephole) {
+        runPeephole(prog, stats_);
+        // The Eq. 5 fold leaves Copies behind; clean them up.
+        runCopyProp(prog, stats_);
+    }
+    prog.compact();
+
+    const size_t after = prog.liveCount();
+    stats_.set("optimized.instructions", double(after));
+    stats_.set("optimized.reductionPct",
+               before == 0 ? 0.0
+                           : 100.0 * double(before - after) /
+                                 double(before));
+
+    auto mem_deps = runAliasAnalysis(prog, stats_);
+    auto order = runScheduler(prog, mem_deps, opts_.schedule, stats_);
+    auto streaming = runStreaming(prog, order, opts_.streaming,
+                                  opts_.fifoDepth, stats_);
+    MachineProgram mp = runRegAllocAndCodegen(prog, order, streaming,
+                                              opts_, stats_);
+    stats_.set("machine.instructions", double(mp.insts.size()));
+    return mp;
+}
+
+} // namespace effact

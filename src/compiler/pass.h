@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Compiler backend driver (Sec. IV-B): SSA optimization passes, alias
+ * analysis, global static scheduling, linear-scan SRAM allocation,
+ * streaming-merge, and machine-code generation.
+ */
+#ifndef EFFACT_COMPILER_PASS_H
+#define EFFACT_COMPILER_PASS_H
+
+#include "common/stats.h"
+#include "ir/ir.h"
+#include "isa/isa.h"
+
+namespace effact {
+
+/** Which optimizations run; switches drive the Fig. 11 ablation. */
+struct CompilerOptions
+{
+    bool copyProp = true;
+    bool constProp = true;
+    bool pre = true;       ///< partial redundancy elimination (CSE/VN)
+    bool peephole = true;  ///< computation merge (MAC fusion, Eq. 5 fold)
+    bool schedule = true;  ///< global list scheduling (off = program order)
+    bool streaming = true; ///< streaming memory access (Sec. IV-C)
+    size_t sramBytes = size_t(27) << 20; ///< on-chip SRAM capacity
+    size_t fifoDepth = 96; ///< FU-to-FU forwarding window (instructions)
+};
+
+// --- Individual passes (each returns its statistics) ----------------------
+
+/** Copy propagation: removes VecCopy chains. */
+void runCopyProp(IrProgram &prog, StatSet &stats);
+
+/** Constant propagation/folding on immediate operands. */
+void runConstProp(IrProgram &prog, StatSet &stats);
+
+/** Value-numbering PRE: removes redundant computations and re-loads of
+ *  read-only data (models on-chip key/constant reuse). */
+void runPre(IrProgram &prog, StatSet &stats);
+
+/** Peephole computation merge: MUL+ADD -> MAC (executed on reused NTT
+ *  units, Sec. III-2) and iNTT 1/N post-scale folding into BConv
+ *  constants (Eq. 5). */
+void runPeephole(IrProgram &prog, StatSet &stats);
+
+/**
+ * Alias analysis (Sec. IV-B2): orders memory operations that may touch
+ * the same HBM location. Returns extra dependence edges (from, to).
+ */
+std::vector<std::pair<int, int>> runAliasAnalysis(const IrProgram &prog,
+                                                  StatSet &stats);
+
+/**
+ * Global list scheduling on the SSA + memory dependence graph using
+ * critical-path priorities. Returns the instruction order.
+ */
+std::vector<int> runScheduler(const IrProgram &prog,
+                              const std::vector<std::pair<int, int>> &deps,
+                              bool enabled, StatSet &stats);
+
+/** Streaming decision per value (Sec. IV-B3). */
+struct StreamingInfo
+{
+    std::vector<uint8_t> streamedLoad;   ///< load feeds its FU directly
+    std::vector<uint8_t> streamedStore;  ///< result streams to DRAM
+    std::vector<uint8_t> fifoForward;    ///< FU-to-FU FIFO, no register
+};
+
+StreamingInfo runStreaming(const IrProgram &prog,
+                           const std::vector<int> &order, bool enabled,
+                           size_t fifo_depth, StatSet &stats);
+
+/**
+ * Linear-scan register allocation over the scheduled order with the
+ * SRAM partitioned into residue-polynomial registers (Sec. IV-B2),
+ * followed by machine-code emission.
+ */
+MachineProgram runRegAllocAndCodegen(const IrProgram &prog,
+                                     const std::vector<int> &order,
+                                     const StreamingInfo &streaming,
+                                     const CompilerOptions &opts,
+                                     StatSet &stats);
+
+/** Full pipeline: optimize, schedule, allocate, emit. */
+class Compiler
+{
+  public:
+    explicit Compiler(CompilerOptions opts = {}) : opts_(opts) {}
+
+    /** Compiles (mutates `prog` through the optimization passes). */
+    MachineProgram compile(IrProgram &prog);
+
+    const StatSet &stats() const { return stats_; }
+    const CompilerOptions &options() const { return opts_; }
+
+  private:
+    CompilerOptions opts_;
+    StatSet stats_;
+};
+
+} // namespace effact
+
+#endif // EFFACT_COMPILER_PASS_H

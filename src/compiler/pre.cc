@@ -1,0 +1,162 @@
+#include "compiler/pass.h"
+
+#include <unordered_map>
+
+namespace effact {
+
+namespace {
+
+/** Hash key for value numbering. */
+struct VnKey
+{
+    uint8_t op;
+    int a;
+    int b;
+    u64 imm;
+    uint8_t use_imm;
+    uint32_t modulus;
+    int mem_obj;
+    int mem_idx;
+
+    bool operator==(const VnKey &o) const
+    {
+        return op == o.op && a == o.a && b == o.b && imm == o.imm &&
+               use_imm == o.use_imm && modulus == o.modulus &&
+               mem_obj == o.mem_obj && mem_idx == o.mem_idx;
+    }
+};
+
+struct VnKeyHash
+{
+    size_t
+    operator()(const VnKey &k) const
+    {
+        size_t h = k.op;
+        h = h * 1000003 + static_cast<size_t>(k.a + 1);
+        h = h * 1000003 + static_cast<size_t>(k.b + 1);
+        h = h * 1000003 + static_cast<size_t>(k.imm);
+        h = h * 1000003 + k.use_imm;
+        h = h * 1000003 + k.modulus;
+        h = h * 1000003 + static_cast<size_t>(k.mem_obj + 1);
+        h = h * 1000003 + static_cast<size_t>(k.mem_idx);
+        return h;
+    }
+};
+
+bool
+commutative(IrOp op)
+{
+    return op == IrOp::Add || op == IrOp::Mul;
+}
+
+} // namespace
+
+void
+runPre(IrProgram &prog, StatSet &stats)
+{
+    // Value numbering over the SSA program (the dominator structure of a
+    // straight-line program is trivial, so hash-based VN subsumes the
+    // PRE of [15,32,36] here). Loads from read-only objects (keys,
+    // plaintext constants) are pure and participate; mutable loads and
+    // stores do not.
+    std::unordered_map<VnKey, int, VnKeyHash> table;
+    std::vector<int> fwd(prog.insts.size());
+    for (size_t i = 0; i < fwd.size(); ++i)
+        fwd[i] = static_cast<int>(i);
+    auto resolve = [&](int v) {
+        while (v >= 0 && fwd[v] != v)
+            v = fwd[v];
+        return v;
+    };
+
+    size_t cse_removed = 0;
+    size_t reload_removed = 0;
+    for (size_t i = 0; i < prog.insts.size(); ++i) {
+        IrInst &inst = prog.insts[i];
+        if (inst.dead)
+            continue;
+        if (inst.a >= 0)
+            inst.a = resolve(inst.a);
+        if (inst.b >= 0)
+            inst.b = resolve(inst.b);
+
+        bool pure = false;
+        VnKey key{};
+        key.op = static_cast<uint8_t>(inst.op);
+        key.modulus = inst.modulus;
+        key.imm = inst.useImm ? inst.imm : 0;
+        key.use_imm = inst.useImm;
+        key.mem_obj = -1;
+        key.mem_idx = 0;
+        switch (inst.op) {
+          case IrOp::Mul:
+          case IrOp::Add:
+          case IrOp::Sub:
+          case IrOp::Mac:
+          case IrOp::Ntt:
+          case IrOp::Intt:
+          case IrOp::Auto:
+            pure = true;
+            key.a = inst.a;
+            key.b = inst.b;
+            if (commutative(inst.op) && !inst.useImm && key.b < key.a)
+                std::swap(key.a, key.b);
+            if (inst.op == IrOp::Auto)
+                key.imm = inst.imm;
+            break;
+          case IrOp::Load:
+            if (inst.mem.object >= 0 &&
+                prog.objects[inst.mem.object].readOnly) {
+                pure = true;
+                key.a = -1;
+                key.b = -1;
+                key.mem_obj = inst.mem.object;
+                key.mem_idx = inst.mem.index;
+            }
+            break;
+          default:
+            break;
+        }
+        if (!pure)
+            continue;
+
+        auto [it, inserted] = table.emplace(key, static_cast<int>(i));
+        if (!inserted) {
+            fwd[i] = it->second;
+            inst.dead = true;
+            if (inst.op == IrOp::Load)
+                ++reload_removed;
+            else
+                ++cse_removed;
+        }
+    }
+
+    // Dead-code elimination: anything unused that is not a Store.
+    std::vector<uint32_t> uses(prog.insts.size(), 0);
+    for (const auto &inst : prog.insts) {
+        if (inst.dead)
+            continue;
+        if (inst.a >= 0)
+            ++uses[inst.a];
+        if (inst.b >= 0)
+            ++uses[inst.b];
+    }
+    size_t dce = 0;
+    for (size_t i = prog.insts.size(); i-- > 0;) {
+        IrInst &inst = prog.insts[i];
+        if (inst.dead || inst.op == IrOp::Store || uses[i] != 0)
+            continue;
+        inst.dead = true;
+        ++dce;
+        if (inst.a >= 0 && --uses[inst.a] == 0)
+            ; // handled when the loop reaches it (reverse order)
+        if (inst.b >= 0)
+            --uses[inst.b];
+    }
+
+    stats.add("pre.cseRemoved", double(cse_removed));
+    stats.add("pre.readOnlyReloadsRemoved", double(reload_removed));
+    stats.add("pre.deadCodeRemoved", double(dce));
+}
+
+} // namespace effact

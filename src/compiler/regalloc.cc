@@ -1,0 +1,294 @@
+#include "compiler/pass.h"
+
+#include "common/logging.h"
+
+#include <algorithm>
+#include <set>
+
+namespace effact {
+
+namespace {
+
+Opcode
+toOpcode(IrOp op)
+{
+    switch (op) {
+      case IrOp::Mul: return Opcode::MMUL;
+      case IrOp::Add: return Opcode::MMAD;
+      case IrOp::Sub: return Opcode::MSUB;
+      case IrOp::Mac: return Opcode::MMAC;
+      case IrOp::Ntt: return Opcode::NTT;
+      case IrOp::Intt: return Opcode::INTT;
+      case IrOp::Auto: return Opcode::AUTO;
+      case IrOp::Load: return Opcode::LOAD_RES;
+      case IrOp::Store: return Opcode::STORE_RES;
+      case IrOp::Copy: return Opcode::VEC_COPY;
+    }
+    panic("bad IrOp");
+}
+
+} // namespace
+
+MachineProgram
+runRegAllocAndCodegen(const IrProgram &prog, const std::vector<int> &order,
+                      const StreamingInfo &streaming,
+                      const CompilerOptions &opts, StatSet &stats)
+{
+    const size_t n = prog.insts.size();
+    const size_t residue_bytes = prog.degree * 8;
+    size_t num_regs = std::max<size_t>(opts.sramBytes / residue_bytes, 8);
+    // Reserve scratch registers for spill reloads.
+    const size_t num_scratch = 4;
+    const size_t alloc_regs = num_regs > num_scratch
+                                  ? num_regs - num_scratch
+                                  : 4;
+
+    // Scheduled position of each instruction.
+    std::vector<int> pos(n, -1);
+    for (size_t k = 0; k < order.size(); ++k)
+        pos[order[k]] = static_cast<int>(k);
+
+    // Which values need an SRAM register at all.
+    std::vector<uint8_t> needs_reg(n, 0);
+    std::vector<int> last_use(n, -1);
+    for (size_t i = 0; i < n; ++i) {
+        const IrInst &inst = prog.insts[i];
+        if (inst.dead)
+            continue;
+        for (int operand : {inst.a, inst.b, inst.c})
+            if (operand >= 0)
+                last_use[operand] = std::max(last_use[operand], pos[i]);
+    }
+    std::vector<uint8_t> value_streams_to_store(n, 0);
+    for (size_t i = 0; i < n; ++i) {
+        const IrInst &inst = prog.insts[i];
+        if (inst.dead)
+            continue;
+        if (inst.op == IrOp::Store) {
+            if (streaming.streamedStore[i] && inst.a >= 0)
+                value_streams_to_store[inst.a] = 1;
+            continue; // stores produce no value
+        }
+        if (inst.op == IrOp::Load && streaming.streamedLoad[i])
+            continue; // consumer reads the FIFO
+        if (streaming.fifoForward[i])
+            continue; // forwarded FU-to-FU
+        if (value_streams_to_store[i])
+            continue; // result streams straight to DRAM
+        if (last_use[i] < 0)
+            continue; // dead result (kept only for Store-less outputs)
+        needs_reg[i] = 1;
+    }
+
+    // Linear scan over the schedule.
+    std::vector<int> assigned(n, -1);    // register id per value
+    std::vector<uint8_t> spilled(n, 0);  // spilled to HBM
+    std::vector<int> free_regs;
+    for (size_t r = 0; r < alloc_regs; ++r)
+        free_regs.push_back(static_cast<int>(r));
+    // Active intervals ordered by end position.
+    std::set<std::pair<int, int>> active; // (end, value)
+
+    size_t spill_count = 0;
+    for (int idx : order) {
+        const size_t i = static_cast<size_t>(idx);
+        if (!needs_reg[i])
+            continue;
+        const int start = pos[i];
+        const int end = last_use[i];
+        // Expire finished intervals.
+        while (!active.empty() && active.begin()->first < start) {
+            free_regs.push_back(assigned[active.begin()->second]);
+            active.erase(active.begin());
+        }
+        if (!free_regs.empty()) {
+            assigned[i] = free_regs.back();
+            free_regs.pop_back();
+            active.emplace(end, static_cast<int>(i));
+        } else {
+            // Spill the interval that ends furthest away.
+            auto furthest = std::prev(active.end());
+            if (furthest->first > end) {
+                int victim = furthest->second;
+                assigned[i] = assigned[victim];
+                spilled[victim] = 1;
+                assigned[victim] = -1;
+                active.erase(furthest);
+                active.emplace(end, static_cast<int>(i));
+            } else {
+                spilled[i] = 1;
+            }
+            ++spill_count;
+        }
+    }
+
+    // HBM address map: program objects first, then the spill area.
+    std::vector<u64> obj_base(prog.objects.size(), 0);
+    u64 next_addr = 0;
+    for (size_t o = 0; o < prog.objects.size(); ++o) {
+        obj_base[o] = next_addr;
+        next_addr += static_cast<u64>(prog.objects[o].residues) *
+                     residue_bytes;
+    }
+    // Values defined by read-only loads are rematerialized (reloaded
+    // from their home address) rather than spilled: no spill store, and
+    // the reload models the paper's key/constant streaming from HBM.
+    std::vector<uint8_t> remat(n, 0);
+    for (size_t i = 0; i < n; ++i) {
+        const IrInst &inst = prog.insts[i];
+        if (spilled[i] && inst.op == IrOp::Load && inst.mem.object >= 0 &&
+            prog.objects[inst.mem.object].readOnly)
+            remat[i] = 1;
+    }
+    std::vector<u64> spill_addr(n, 0);
+    for (size_t i = 0; i < n; ++i) {
+        if (spilled[i] && !remat[i]) {
+            spill_addr[i] = next_addr;
+            next_addr += residue_bytes;
+        } else if (remat[i]) {
+            const IrInst &inst = prog.insts[i];
+            spill_addr[i] = obj_base[inst.mem.object] +
+                            static_cast<u64>(inst.mem.index) *
+                                residue_bytes;
+        }
+    }
+
+    // --- Emission --------------------------------------------------------
+    MachineProgram mp;
+    mp.residueBytes = residue_bytes;
+    mp.numRegs = num_regs;
+
+    // Values live in scratch after a reload (round robin).
+    int next_scratch = 0;
+    auto scratchReg = [&]() {
+        int r = static_cast<int>(alloc_regs) + next_scratch;
+        next_scratch = (next_scratch + 1) % static_cast<int>(num_scratch);
+        return r;
+    };
+
+    auto operandFor = [&](int value, std::vector<MachInst> &out) {
+        const IrInst &def = prog.insts[value];
+        if (def.op == IrOp::Load && streaming.streamedLoad[value]) {
+            // Streaming operand fed straight from DRAM (Sec. IV-C).
+            Operand o = Operand::stream(0, /*from_dram=*/true);
+            o.value = obj_base[def.mem.object] +
+                      static_cast<u64>(def.mem.index) * residue_bytes;
+            return o;
+        }
+        if (streaming.fifoForward[value])
+            return Operand::stream(static_cast<u64>(value));
+        if (assigned[value] >= 0)
+            return Operand::regOp(assigned[value]);
+        if (spilled[value]) {
+            // Reload from the spill slot into a scratch register.
+            int r = scratchReg();
+            MachInst load;
+            load.op = Opcode::LOAD_RES;
+            load.dest = Operand::regOp(r);
+            load.hbmAddr = spill_addr[value];
+            load.irId = value;
+            out.push_back(load);
+            ++mp.spillLoads;
+            return Operand::regOp(r);
+        }
+        // Value streams to a store or is scratch-resident.
+        return Operand::regOp(scratchReg());
+    };
+
+    for (int idx : order) {
+        const size_t i = static_cast<size_t>(idx);
+        const IrInst &inst = prog.insts[i];
+
+        if (inst.op == IrOp::Load) {
+            if (streaming.streamedLoad[i])
+                continue; // merged into its consumer
+            if (remat[i])
+                continue; // reloaded at each use instead
+            MachInst mi;
+            mi.op = Opcode::LOAD_RES;
+            mi.dest = spilled[i] ? Operand::regOp(scratchReg())
+                                 : Operand::regOp(assigned[i]);
+            mi.hbmAddr = obj_base[inst.mem.object] +
+                         static_cast<u64>(inst.mem.index) * residue_bytes;
+            mi.modulus = inst.modulus;
+            mi.irId = idx;
+            mp.insts.push_back(mi);
+            continue;
+        }
+
+        if (inst.op == IrOp::Store) {
+            MachInst mi;
+            mi.op = Opcode::STORE_RES;
+            mi.src0 = streaming.streamedStore[i]
+                          ? Operand::stream(static_cast<u64>(inst.a))
+                          : operandFor(inst.a, mp.insts);
+            mi.hbmAddr = obj_base[inst.mem.object] +
+                         static_cast<u64>(inst.mem.index) * residue_bytes;
+            mi.modulus = inst.modulus;
+            mi.irId = idx;
+            mp.insts.push_back(mi);
+            continue;
+        }
+
+        MachInst mi;
+        mi.op = toOpcode(inst.op);
+        mi.modulus = inst.modulus;
+        mi.imm = inst.imm;
+        mi.irId = idx;
+        if (inst.a >= 0)
+            mi.src0 = operandFor(inst.a, mp.insts);
+        if (inst.useImm)
+            mi.src1 = Operand::imm(inst.imm);
+        else if (inst.b >= 0)
+            mi.src1 = operandFor(inst.b, mp.insts);
+
+        if (inst.op == IrOp::Mac && inst.c >= 0) {
+            // Destructive accumulate: the dest register holds c. If c
+            // is still live afterwards, copy it aside first.
+            Operand acc = operandFor(inst.c, mp.insts);
+            if (last_use[inst.c] > pos[i] &&
+                acc.kind == OperandKind::Reg && assigned[i] >= 0) {
+                MachInst cp;
+                cp.op = Opcode::VEC_COPY;
+                cp.dest = Operand::regOp(assigned[i]);
+                cp.src0 = acc;
+                cp.irId = idx;
+                mp.insts.push_back(cp);
+                acc = cp.dest;
+            }
+            mi.dest = acc;
+        } else if (value_streams_to_store[i]) {
+            mi.dest = Operand::stream(static_cast<u64>(i));
+        } else if (streaming.fifoForward[i]) {
+            mi.dest = Operand::stream(static_cast<u64>(i));
+        } else if (assigned[i] >= 0) {
+            mi.dest = Operand::regOp(assigned[i]);
+        } else {
+            mi.dest = Operand::regOp(scratchReg());
+        }
+        mp.insts.push_back(mi);
+
+        if (spilled[i] && !remat[i]) {
+            MachInst spill;
+            spill.op = Opcode::STORE_RES;
+            spill.src0 = mi.dest;
+            spill.hbmAddr = spill_addr[i];
+            spill.irId = idx;
+            mp.insts.push_back(spill);
+            ++mp.spillStores;
+        }
+    }
+
+    for (uint8_t s : streaming.streamedLoad)
+        mp.streamedOps += s;
+    for (uint8_t s : streaming.streamedStore)
+        mp.streamedOps += s;
+
+    stats.add("regalloc.registers", double(num_regs));
+    stats.add("regalloc.spilledValues", double(spill_count));
+    stats.add("regalloc.spillLoads", double(mp.spillLoads));
+    stats.add("regalloc.spillStores", double(mp.spillStores));
+    return mp;
+}
+
+} // namespace effact

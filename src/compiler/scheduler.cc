@@ -1,0 +1,144 @@
+#include "compiler/pass.h"
+
+#include <algorithm>
+#include "common/logging.h"
+
+#include <queue>
+
+namespace effact {
+
+namespace {
+
+/** Latency estimate (in lane-beats) used for critical-path priority. */
+double
+estLatency(const IrInst &inst)
+{
+    switch (inst.op) {
+      case IrOp::Ntt:
+      case IrOp::Intt:
+        return 16.0; // fine-grained NTT: the long pole
+      case IrOp::Load:
+      case IrOp::Store:
+        return 8.0;
+      case IrOp::Mac:
+        return 1.5;
+      default:
+        return 1.0;
+    }
+}
+
+} // namespace
+
+std::vector<int>
+runScheduler(const IrProgram &prog,
+             const std::vector<std::pair<int, int>> &deps, bool enabled,
+             StatSet &stats)
+{
+    const size_t n = prog.insts.size();
+    std::vector<int> order;
+    order.reserve(prog.liveCount());
+
+    if (!enabled) {
+        for (size_t i = 0; i < n; ++i)
+            if (!prog.insts[i].dead)
+                order.push_back(static_cast<int>(i));
+        stats.add("sched.enabled", 0);
+        return order;
+    }
+
+    // Build the dependence graph: SSA uses + memory edges.
+    std::vector<std::vector<int>> succs(n);
+    std::vector<uint32_t> preds(n, 0);
+    auto addEdge = [&](int from, int to) {
+        succs[from].push_back(to);
+        ++preds[to];
+    };
+    for (size_t i = 0; i < n; ++i) {
+        const IrInst &inst = prog.insts[i];
+        if (inst.dead)
+            continue;
+        for (int operand : {inst.a, inst.b, inst.c})
+            if (operand >= 0)
+                addEdge(operand, static_cast<int>(i));
+    }
+    for (auto [from, to] : deps)
+        addEdge(from, to);
+
+    // Critical-path priority: longest latency path to any sink,
+    // computed over the reverse topological order (ids are topological
+    // in SSA construction order).
+    std::vector<double> prio(n, 0.0);
+    for (size_t i = n; i-- > 0;) {
+        if (prog.insts[i].dead)
+            continue;
+        double best = 0.0;
+        for (int succ : succs[i])
+            best = std::max(best, prio[succ]);
+        prio[i] = best + estLatency(prog.insts[i]);
+    }
+
+    // Windowed list scheduling: ready instructions ordered by priority,
+    // but reordering is confined to a sliding window over the original
+    // program order. Unbounded reordering would interleave every
+    // independent chain and explode SRAM register pressure; the window
+    // keeps live ranges close to the lowering's locality while still
+    // hiding latency (the paper couples this with the OoO scoreboard).
+    constexpr size_t kReorderWindow = 96;
+    using Entry = std::pair<double, int>;
+    std::priority_queue<Entry> ready;
+    std::vector<uint8_t> released(n, 0);
+    size_t next_release = 0;
+    size_t scheduled_floor = 0; // lowest unscheduled original index
+    std::vector<uint8_t> done(n, 0);
+
+    auto release = [&]() {
+        // Admit instructions while the window [scheduled_floor,
+        // next_release) stays within kReorderWindow live entries.
+        while (next_release < n &&
+               next_release < scheduled_floor + kReorderWindow) {
+            size_t i = next_release++;
+            if (!prog.insts[i].dead && preds[i] == 0 && !released[i]) {
+                released[i] = 1;
+                ready.emplace(prio[i], static_cast<int>(i));
+            }
+        }
+    };
+    release();
+
+    while (order.size() < prog.liveCount()) {
+        if (ready.empty()) {
+            // Everything released is blocked on un-released code: slide
+            // the window forward.
+            EFFACT_ASSERT(next_release < n, "scheduler deadlock");
+            scheduled_floor = next_release;
+            release();
+            continue;
+        }
+        auto [p, idx] = ready.top();
+        ready.pop();
+        order.push_back(idx);
+        done[idx] = 1;
+        while (scheduled_floor < n &&
+               (prog.insts[scheduled_floor].dead || done[scheduled_floor]))
+            ++scheduled_floor;
+        for (int succ : succs[idx]) {
+            if (--preds[succ] == 0 && !prog.insts[succ].dead &&
+                static_cast<size_t>(succ) < next_release &&
+                !released[succ]) {
+                released[succ] = 1;
+                ready.emplace(prio[succ], succ);
+            }
+        }
+        release();
+    }
+
+    EFFACT_ASSERT(order.size() == prog.liveCount(),
+                  "scheduler dropped instructions (%zu of %zu)",
+                  order.size(), prog.liveCount());
+    stats.add("sched.enabled", 1);
+    stats.add("sched.criticalPath",
+              n == 0 ? 0 : *std::max_element(prio.begin(), prio.end()));
+    return order;
+}
+
+} // namespace effact

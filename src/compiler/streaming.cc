@@ -1,0 +1,85 @@
+#include "compiler/pass.h"
+
+#include <algorithm>
+
+namespace effact {
+
+StreamingInfo
+runStreaming(const IrProgram &prog, const std::vector<int> &order,
+             bool enabled, size_t fifo_depth, StatSet &stats)
+{
+    const size_t n = prog.insts.size();
+    StreamingInfo info;
+    info.streamedLoad.assign(n, 0);
+    info.streamedStore.assign(n, 0);
+    info.fifoForward.assign(n, 0);
+    if (!enabled) {
+        stats.add("stream.enabled", 0);
+        return info;
+    }
+
+    // Use counts and the single consumer of each value.
+    std::vector<uint32_t> uses(n, 0);
+    std::vector<int> only_use(n, -1);
+    for (size_t i = 0; i < n; ++i) {
+        const IrInst &inst = prog.insts[i];
+        if (inst.dead)
+            continue;
+        for (int operand : {inst.a, inst.b, inst.c}) {
+            if (operand >= 0) {
+                ++uses[operand];
+                only_use[operand] = static_cast<int>(i);
+            }
+        }
+    }
+
+    std::vector<int> pos(n, -1);
+    for (size_t k = 0; k < order.size(); ++k)
+        pos[order[k]] = static_cast<int>(k);
+
+    size_t stream_loads = 0, stream_stores = 0, fifo = 0;
+    for (size_t i = 0; i < n; ++i) {
+        const IrInst &inst = prog.insts[i];
+        if (inst.dead)
+            continue;
+
+        // Sec. IV-B3: a load with a single consumer merges into that
+        // consumer as a streaming operand — no SRAM staging.
+        if (inst.op == IrOp::Load && uses[i] == 1) {
+            info.streamedLoad[i] = 1;
+            ++stream_loads;
+            continue;
+        }
+        // A store whose operand has no other consumer streams the FU
+        // result straight to DRAM.
+        if (inst.op == IrOp::Store && inst.a >= 0 && uses[inst.a] == 1 &&
+            !prog.insts[inst.a].dead &&
+            prog.insts[inst.a].op != IrOp::Load) {
+            info.streamedStore[i] = 1;
+            ++stream_stores;
+            continue;
+        }
+        // FU-to-FU forwarding: a computed value with one consumer close
+        // enough in the schedule rides the FIFO instead of an SRAM
+        // register.
+        if (inst.op != IrOp::Load && inst.op != IrOp::Store &&
+            uses[i] == 1 && only_use[i] >= 0) {
+            int producer_pos = pos[i];
+            int consumer_pos = pos[only_use[i]];
+            if (producer_pos >= 0 && consumer_pos >= 0 &&
+                consumer_pos - producer_pos <=
+                    static_cast<int>(fifo_depth)) {
+                info.fifoForward[i] = 1;
+                ++fifo;
+            }
+        }
+    }
+
+    stats.add("stream.enabled", 1);
+    stats.add("stream.loads", double(stream_loads));
+    stats.add("stream.stores", double(stream_stores));
+    stats.add("stream.fifoForwards", double(fifo));
+    return info;
+}
+
+} // namespace effact

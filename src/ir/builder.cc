@@ -1,0 +1,142 @@
+#include "ir/builder.h"
+
+#include "common/logging.h"
+
+namespace effact {
+
+int
+IrBuilder::object(const std::string &name, int residues, bool read_only)
+{
+    return prog_.addObject(name, residues, read_only);
+}
+
+int
+IrBuilder::emit1(IrOp op, int a, int b, uint32_t modulus, IrTag tag,
+                 u64 imm, bool use_imm)
+{
+    IrInst inst;
+    inst.op = op;
+    inst.a = a;
+    inst.b = b;
+    inst.modulus = modulus;
+    inst.tag = tag;
+    inst.imm = imm;
+    inst.useImm = use_imm;
+    return prog_.emit(inst);
+}
+
+PolyVal
+IrBuilder::load(int obj, int first, size_t limbs)
+{
+    PolyVal v;
+    v.limbs.reserve(limbs);
+    for (size_t j = 0; j < limbs; ++j) {
+        IrInst inst;
+        inst.op = IrOp::Load;
+        inst.modulus = static_cast<uint32_t>(first + j);
+        inst.mem = {obj, first + static_cast<int>(j)};
+        v.limbs.push_back(prog_.emit(inst));
+    }
+    return v;
+}
+
+void
+IrBuilder::store(int obj, int first, const PolyVal &v)
+{
+    for (size_t j = 0; j < v.size(); ++j) {
+        IrInst inst;
+        inst.op = IrOp::Store;
+        inst.a = v.limbs[j];
+        inst.modulus = static_cast<uint32_t>(first + j);
+        inst.mem = {obj, first + static_cast<int>(j)};
+        prog_.emit(inst);
+    }
+}
+
+PolyVal
+IrBuilder::mul(const PolyVal &a, const PolyVal &b, IrTag tag)
+{
+    EFFACT_ASSERT(a.size() == b.size(), "limb count mismatch in mul");
+    PolyVal out;
+    for (size_t j = 0; j < a.size(); ++j)
+        out.limbs.push_back(emit1(IrOp::Mul, a.limbs[j], b.limbs[j],
+                                  static_cast<uint32_t>(j), tag));
+    return out;
+}
+
+PolyVal
+IrBuilder::add(const PolyVal &a, const PolyVal &b, IrTag tag)
+{
+    EFFACT_ASSERT(a.size() == b.size(), "limb count mismatch in add");
+    PolyVal out;
+    for (size_t j = 0; j < a.size(); ++j)
+        out.limbs.push_back(emit1(IrOp::Add, a.limbs[j], b.limbs[j],
+                                  static_cast<uint32_t>(j), tag));
+    return out;
+}
+
+PolyVal
+IrBuilder::sub(const PolyVal &a, const PolyVal &b, IrTag tag)
+{
+    EFFACT_ASSERT(a.size() == b.size(), "limb count mismatch in sub");
+    PolyVal out;
+    for (size_t j = 0; j < a.size(); ++j)
+        out.limbs.push_back(emit1(IrOp::Sub, a.limbs[j], b.limbs[j],
+                                  static_cast<uint32_t>(j), tag));
+    return out;
+}
+
+PolyVal
+IrBuilder::mulImm(const PolyVal &a, u64 imm, IrTag tag)
+{
+    PolyVal out;
+    for (size_t j = 0; j < a.size(); ++j)
+        out.limbs.push_back(emit1(IrOp::Mul, a.limbs[j], -1,
+                                  static_cast<uint32_t>(j), tag, imm,
+                                  true));
+    return out;
+}
+
+PolyVal
+IrBuilder::addImm(const PolyVal &a, u64 imm, IrTag tag)
+{
+    PolyVal out;
+    for (size_t j = 0; j < a.size(); ++j)
+        out.limbs.push_back(emit1(IrOp::Add, a.limbs[j], -1,
+                                  static_cast<uint32_t>(j), tag, imm,
+                                  true));
+    return out;
+}
+
+PolyVal
+IrBuilder::ntt(const PolyVal &a)
+{
+    PolyVal out;
+    for (size_t j = 0; j < a.size(); ++j)
+        out.limbs.push_back(emit1(IrOp::Ntt, a.limbs[j], -1,
+                                  static_cast<uint32_t>(j)));
+    return out;
+}
+
+PolyVal
+IrBuilder::intt(const PolyVal &a)
+{
+    PolyVal out;
+    for (size_t j = 0; j < a.size(); ++j)
+        out.limbs.push_back(emit1(IrOp::Intt, a.limbs[j], -1,
+                                  static_cast<uint32_t>(j)));
+    return out;
+}
+
+PolyVal
+IrBuilder::automorph(const PolyVal &a, u64 elt)
+{
+    PolyVal out;
+    for (size_t j = 0; j < a.size(); ++j)
+        out.limbs.push_back(emit1(IrOp::Auto, a.limbs[j], -1,
+                                  static_cast<uint32_t>(j),
+                                  IrTag::Normal, elt, true));
+    return out;
+}
+
+} // namespace effact

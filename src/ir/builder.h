@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Low-level IR builder: emits per-limb residue instructions for whole
+ * RNS polynomials. The HE-kernel layer (ir/kernels.h) composes these
+ * into key-switching, rescale, rotations and full benchmarks.
+ */
+#ifndef EFFACT_IR_BUILDER_H
+#define EFFACT_IR_BUILDER_H
+
+#include "ir/ir.h"
+
+namespace effact {
+
+/** An RNS polynomial value in the IR: one SSA id per limb. */
+struct PolyVal
+{
+    std::vector<int> limbs;
+
+    size_t size() const { return limbs.size(); }
+};
+
+/** Emits residue-level instructions over whole polynomials. */
+class IrBuilder
+{
+  public:
+    explicit IrBuilder(IrProgram &prog) : prog_(prog) {}
+
+    IrProgram &program() { return prog_; }
+
+    /** Declares an HBM object holding `residues` residue polynomials. */
+    int object(const std::string &name, int residues, bool read_only);
+
+    /** Loads `limbs` consecutive residues starting at `first`. */
+    PolyVal load(int obj, int first, size_t limbs);
+
+    /** Stores a polynomial to consecutive residues starting at `first` */
+    void store(int obj, int first, const PolyVal &v);
+
+    /** Element-wise ops; limb counts must match. */
+    PolyVal mul(const PolyVal &a, const PolyVal &b, IrTag tag = IrTag::Normal);
+    PolyVal add(const PolyVal &a, const PolyVal &b, IrTag tag = IrTag::Normal);
+    PolyVal sub(const PolyVal &a, const PolyVal &b, IrTag tag = IrTag::Normal);
+
+    /** Multiply every limb by a scalar immediate. */
+    PolyVal mulImm(const PolyVal &a, u64 imm, IrTag tag = IrTag::Normal);
+
+    /** Add a scalar immediate to every limb. */
+    PolyVal addImm(const PolyVal &a, u64 imm, IrTag tag = IrTag::Normal);
+
+    /** NTT / iNTT on every limb. */
+    PolyVal ntt(const PolyVal &a);
+    PolyVal intt(const PolyVal &a);
+
+    /** Automorphism with Galois element `elt` on every limb. */
+    PolyVal automorph(const PolyVal &a, u64 elt);
+
+    /** Single-limb helpers. */
+    int emit1(IrOp op, int a, int b, uint32_t modulus,
+              IrTag tag = IrTag::Normal, u64 imm = 0, bool use_imm = false);
+
+  private:
+    IrProgram &prog_;
+};
+
+} // namespace effact
+
+#endif // EFFACT_IR_BUILDER_H

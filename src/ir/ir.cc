@@ -1,0 +1,105 @@
+#include "ir/ir.h"
+
+#include <map>
+
+#include "common/logging.h"
+
+namespace effact {
+
+int
+IrProgram::addObject(std::string obj_name, int residues, bool read_only)
+{
+    objects.push_back({std::move(obj_name), residues, read_only});
+    return static_cast<int>(objects.size()) - 1;
+}
+
+int
+IrProgram::emit(IrInst inst)
+{
+    insts.push_back(inst);
+    return static_cast<int>(insts.size()) - 1;
+}
+
+size_t
+IrProgram::liveCount() const
+{
+    size_t n = 0;
+    for (const auto &inst : insts)
+        n += inst.dead ? 0 : 1;
+    return n;
+}
+
+void
+IrProgram::compact()
+{
+    std::vector<int> remap(insts.size(), -1);
+    std::vector<IrInst> kept;
+    kept.reserve(insts.size());
+    for (size_t i = 0; i < insts.size(); ++i) {
+        if (insts[i].dead)
+            continue;
+        remap[i] = static_cast<int>(kept.size());
+        kept.push_back(insts[i]);
+    }
+    for (auto &inst : kept) {
+        for (int *operand : {&inst.a, &inst.b, &inst.c}) {
+            if (*operand >= 0) {
+                EFFACT_ASSERT(remap[*operand] >= 0,
+                              "live instruction uses dead value %d",
+                              *operand);
+                *operand = remap[*operand];
+            }
+        }
+    }
+    insts = std::move(kept);
+}
+
+std::string
+mixKey(const IrInst &inst)
+{
+    switch (inst.op) {
+      case IrOp::Mul:
+        return inst.tag == IrTag::BConv ? "BC_MULT" : "MULT";
+      case IrOp::Mac:
+        return inst.tag == IrTag::BConv ? "BC_MAC" : "MAC";
+      case IrOp::Add:
+      case IrOp::Sub:
+        return inst.tag == IrTag::BConv ? "BC_ADD" : "ADD";
+      case IrOp::Ntt:
+      case IrOp::Intt:
+        return "NTT";
+      case IrOp::Auto:
+        return "AUTO";
+      case IrOp::Load:
+        return "LOAD";
+      case IrOp::Store:
+        return "STORE";
+      case IrOp::Copy:
+        return "COPY";
+    }
+    return "OTHER";
+}
+
+StatSet
+IrProgram::opMix() const
+{
+    StatSet mix;
+    for (const auto &inst : insts) {
+        if (!inst.dead)
+            mix.add(mixKey(inst), 1);
+    }
+    return mix;
+}
+
+size_t
+IrProgram::readOnlyBytes() const
+{
+    size_t bytes = 0;
+    for (const auto &obj : objects) {
+        if (obj.readOnly)
+            bytes += static_cast<size_t>(obj.residues) * degree * 8;
+    }
+    return bytes;
+}
+
+} // namespace effact

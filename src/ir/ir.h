@@ -1,0 +1,111 @@
+/**
+ * @file
+ * SSA intermediate representation at the residue-polynomial level
+ * (Sec. IV-B). HE primitives are lowered to vector instructions over
+ * single residues; the compiler optimizes this form and then allocates
+ * SRAM registers and emits machine code.
+ */
+#ifndef EFFACT_IR_IR_H
+#define EFFACT_IR_IR_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "math/mod_arith.h"
+
+namespace effact {
+
+/** IR operations (pre-scheduling form of the ISA). */
+enum class IrOp : uint8_t {
+    Load,  ///< read a residue from an HBM object
+    Store, ///< write a residue to an HBM object
+    Mul,   ///< modular multiply (second arg may be an immediate)
+    Add,   ///< modular add
+    Sub,   ///< modular subtract
+    Mac,   ///< fused multiply-add (created by the peephole merge)
+    Ntt,   ///< forward NTT
+    Intt,  ///< inverse NTT
+    Auto,  ///< automorphism
+    Copy,  ///< residue copy
+};
+
+/**
+ * Instruction tag: which HE-level construct the instruction came from.
+ * This is what Fig. 3 plots (BConv's MULT/ADD counted separately).
+ */
+enum class IrTag : uint8_t {
+    Normal, ///< normal MULT/ADD and everything else
+    BConv,  ///< part of a base conversion
+};
+
+/** Symbolic HBM location: an object (ciphertext/key/constant) + index. */
+struct MemRef
+{
+    int object = -1; ///< HBM object id (-1 = none)
+    int index = 0;   ///< residue index inside the object
+
+    bool operator==(const MemRef &o) const
+    {
+        return object == o.object && index == o.index;
+    }
+};
+
+/** HBM object metadata. */
+struct MemObject
+{
+    std::string name;
+    int residues = 0;   ///< number of residue polynomials
+    bool readOnly = false; ///< keys/plaintext constants
+};
+
+/** One SSA instruction; its index in the program is its value id. */
+struct IrInst
+{
+    IrOp op = IrOp::Copy;
+    int a = -1;         ///< first operand value id
+    int b = -1;         ///< second operand value id (-1 if immediate/none)
+    int c = -1;         ///< third operand (Mac accumulator only)
+    u64 imm = 0;        ///< immediate scalar / Galois element
+    bool useImm = false;///< second operand is `imm` instead of `b`
+    uint32_t modulus = 0; ///< limb prime index
+    IrTag tag = IrTag::Normal;
+    MemRef mem;         ///< Load/Store location
+    bool dead = false;  ///< marked by passes instead of O(n) erases
+};
+
+/** An SSA program over residue polynomials. */
+struct IrProgram
+{
+    std::string name;
+    size_t degree = 0;   ///< ring degree N
+    size_t lanes = 0;    ///< vector lanes (informational)
+    std::vector<IrInst> insts;
+    std::vector<MemObject> objects;
+
+    /** Creates an HBM object; returns its id. */
+    int addObject(std::string obj_name, int residues, bool read_only);
+
+    /** Appends an instruction; returns its value id. */
+    int emit(IrInst inst);
+
+    /** Number of live (non-dead) instructions. */
+    size_t liveCount() const;
+
+    /** Compacts dead instructions and renumbers value ids. */
+    void compact();
+
+    /** Op histogram over live instructions, keyed for Fig. 3. */
+    StatSet opMix() const;
+
+    /** Total bytes of all read-only objects (key/constant footprint). */
+    size_t readOnlyBytes() const;
+};
+
+/** Name used in the Fig. 3 histogram for an instruction. */
+std::string mixKey(const IrInst &inst);
+
+} // namespace effact
+
+#endif // EFFACT_IR_IR_H

@@ -1,0 +1,345 @@
+#include "ir/workloads.h"
+
+#include <cmath>
+
+#include "common/bitops.h"
+#include "common/logging.h"
+
+namespace effact {
+
+IrCt
+emitModRaise(KernelBuilder &kb, const std::string &name)
+{
+    // A level-1 ciphertext is loaded, iNTT'd, and its coefficient image
+    // broadcast-NTT'd onto every limb of the full chain.
+    IrBuilder &b = kb.builder();
+    const size_t levels = kb.params().levels;
+    IrCt in = kb.inputCiphertext(name, 1);
+    IrCt out;
+    out.level = levels;
+    for (const PolyVal *poly : {&in.c0, &in.c1}) {
+        PolyVal coeff = b.intt(*poly);
+        PolyVal raised;
+        for (size_t j = 0; j < levels; ++j)
+            raised.limbs.push_back(
+                b.emit1(IrOp::Ntt, coeff.limbs[0], -1,
+                        static_cast<uint32_t>(j)));
+        (poly == &in.c0 ? out.c0 : out.c1) = raised;
+    }
+    return out;
+}
+
+namespace {
+
+/** Per-stage diagonal count for a radix-factored DFT over `slots`. */
+size_t
+stageDiags(size_t slots, size_t stages)
+{
+    // Factoring the slots-point transform into `stages` radix-r stages
+    // gives roughly 2r-1 diagonals per stage with r = slots^(1/stages).
+    double r = std::pow(double(slots), 1.0 / double(stages));
+    size_t d = static_cast<size_t>(2.0 * r) | 1;
+    return std::max<size_t>(d, 3);
+}
+
+/** BSGS baby count ~ sqrt(diags), rounded to a power of two. */
+size_t
+babyFor(size_t diags)
+{
+    size_t n1 = 1;
+    while (n1 * n1 < diags)
+        n1 <<= 1;
+    return n1;
+}
+
+} // namespace
+
+Workload
+buildBootstrapping(const FheParams &fhe, const BootstrapBudget &budget)
+{
+    Workload w;
+    w.fhe = fhe;
+    // T_A.S. divisor: slots x (L - L_boot), L_boot = CtS+EvalMod+StC.
+    w.amortizeFactor = double(budget.slots) *
+                       double(fhe.levels - (budget.levelsCtS + 8 + budget.levelsStC));
+    w.program.name = "bootstrapping";
+
+    KernelBuilder kb(w.program, fhe);
+    int evk = kb.switchingKeyObject("relin_key");
+    int gk = kb.switchingKeyObject("galois_keys");
+    int conj_key = kb.switchingKeyObject("conj_key");
+
+    IrCt ct = emitModRaise(kb, "ct_in");
+
+    // CtS: levelsCtS radix stages on the packed ciphertext, then the
+    // conjugation pair producing the (lo, hi) halves.
+    const size_t cts_diags = stageDiags(budget.slots, budget.levelsCtS);
+    for (size_t s = 0; s < budget.levelsCtS; ++s) {
+        int diag_obj = kb.plainObject(
+            "cts_diag_" + std::to_string(s),
+            static_cast<int>(cts_diags * ct.level));
+        ct = kb.linearTransform(ct, cts_diags, babyFor(cts_diags),
+                                diag_obj, gk);
+    }
+    IrCt conj = kb.rotate(ct, 2 * fhe.degree() - 1, conj_key);
+    IrCt lo = kb.hadd(ct, conj);
+    IrCt hi = kb.hadd(ct, conj); // structurally identical (subtract path)
+
+    // EvalMod on both halves.
+    IrCt lo2 = kb.polyEval(kb.rescale(kb.multImm(lo, 9)),
+                           budget.sineDegree, budget.babySteps, evk);
+    IrCt hi2 = kb.polyEval(kb.rescale(kb.multImm(hi, 9)),
+                           budget.sineDegree, budget.babySteps, evk);
+
+    // StC stages, then merge the halves.
+    const size_t stc_diags = stageDiags(budget.slots, budget.levelsStC);
+    IrCt merged = kb.hadd(lo2, hi2);
+    for (size_t s = 0; s < budget.levelsStC; ++s) {
+        int diag_obj = kb.plainObject(
+            "stc_diag_" + std::to_string(s),
+            static_cast<int>(stc_diags * merged.level));
+        merged = kb.linearTransform(merged, stc_diags,
+                                    babyFor(stc_diags), diag_obj, gk);
+    }
+    kb.output("ct_out", merged);
+    return w;
+}
+
+Workload
+buildHelr(const FheParams &fhe)
+{
+    // Two HELR iterations plus one 256-slot bootstrapping (the paper's
+    // HELR performs 256-slot bootstrapping every two iterations); the
+    // repeat factor amortizes to a single iteration.
+    Workload w;
+    w.fhe = fhe;
+    w.amortizeFactor = 256.0;
+    w.program.name = "helr";
+
+    KernelBuilder kb(w.program, fhe);
+    int evk = kb.switchingKeyObject("relin_key");
+    int gk = kb.switchingKeyObject("galois_keys");
+
+    IrCt weights = kb.inputCiphertext("weights", fhe.levels - 1);
+    for (int iter = 0; iter < 2; ++iter) {
+        IrCt x = kb.inputCiphertext("batch_" + std::to_string(iter),
+                                    weights.level);
+        // z = X*w: one BSGS matmul over the 256-slot batch.
+        int xw_diag = kb.plainObject("xw_diag_" + std::to_string(iter),
+                                     static_cast<int>(16 * x.level));
+        IrCt z = kb.linearTransform(kb.hmult(x, weights, evk), 16, 4,
+                                    xw_diag, gk);
+        // Sigmoid: degree-7 polynomial (HELR uses a cubic/7th approx).
+        IrCt sig = kb.polyEval(z, 7, 4, evk);
+        // Gradient: X^T * sig via log2(256) rotation-accumulate steps.
+        IrCt grad = kb.hmult(sig, x, evk);
+        for (int s = 0; s < 8; ++s)
+            grad = kb.hadd(grad, kb.rotate(grad, 5 + s, gk));
+        // Weight update: w -= lr * grad.
+        IrCt scaled = kb.rescale(kb.multImm(grad, 13));
+        weights = kb.hadd(kb.rescale(kb.multImm(weights, 17)), scaled);
+    }
+
+    // 256-slot bootstrapping budget (Table III row 2): CtS 3, StC 2.
+    BootstrapBudget small;
+    small.slots = 256;
+    small.levelsCtS = 3;
+    small.levelsStC = 2;
+    small.sineDegree = 255;
+    small.babySteps = 16;
+
+    // Re-enter the bootstrap pipeline on the (now low-level) weights.
+    KernelBuilder kb2(w.program, fhe);
+    IrCt raised = emitModRaise(kb2, "weights_boot");
+    const size_t cts_diags = stageDiags(small.slots, small.levelsCtS);
+    for (size_t s = 0; s < small.levelsCtS; ++s) {
+        int diag_obj = kb2.plainObject(
+            "helr_cts_" + std::to_string(s),
+            static_cast<int>(cts_diags * raised.level));
+        raised = kb2.linearTransform(raised, cts_diags,
+                                     babyFor(cts_diags), diag_obj, gk);
+    }
+    IrCt em = kb2.polyEval(kb2.rescale(kb2.multImm(raised, 9)),
+                           small.sineDegree, small.babySteps, evk);
+    const size_t stc_diags = stageDiags(small.slots, small.levelsStC);
+    for (size_t s = 0; s < small.levelsStC; ++s) {
+        int diag_obj = kb2.plainObject(
+            "helr_stc_" + std::to_string(s),
+            static_cast<int>(stc_diags * em.level));
+        em = kb2.linearTransform(em, stc_diags, babyFor(stc_diags),
+                                 diag_obj, gk);
+    }
+    kb2.output("weights_out", em);
+
+    w.repeat = 0.5; // program covers two iterations; report one
+    return w;
+}
+
+Workload
+buildResNet20(const FheParams &fhe)
+{
+    // One segment: two homomorphic convolutions (BSGS diagonal matmuls
+    // with 3x3 kernels over packed channels), a degree-27 activation,
+    // and one bootstrapping. ResNet-20 ~ 10 such segments.
+    Workload w;
+    w.fhe = fhe;
+    w.amortizeFactor = double(size_t(1) << 15);
+    w.program.name = "resnet20";
+
+    KernelBuilder kb(w.program, fhe);
+    int evk = kb.switchingKeyObject("relin_key");
+    int gk = kb.switchingKeyObject("galois_keys");
+
+    IrCt act = kb.inputCiphertext("activations", 20);
+    for (int layer = 0; layer < 2; ++layer) {
+        int conv_diag = kb.plainObject(
+            "conv_diag_" + std::to_string(layer),
+            static_cast<int>(27 * act.level));
+        act = kb.linearTransform(act, 27, 8, conv_diag, gk);
+        act = kb.polyEval(act, 27, 8, evk); // ReLU approximation
+    }
+
+    BootstrapBudget full;
+    full.levelsCtS = 4;
+    full.levelsStC = 3;
+    KernelBuilder kb2(w.program, fhe);
+    IrCt raised = emitModRaise(kb2, "act_boot");
+    const size_t cts_diags = stageDiags(full.slots, full.levelsCtS);
+    for (size_t s = 0; s < full.levelsCtS; ++s) {
+        int diag_obj = kb2.plainObject(
+            "rn_cts_" + std::to_string(s),
+            static_cast<int>(cts_diags * raised.level));
+        raised = kb2.linearTransform(raised, cts_diags,
+                                     babyFor(cts_diags), diag_obj, gk);
+    }
+    IrCt em = kb2.polyEval(kb2.rescale(kb2.multImm(raised, 9)),
+                           full.sineDegree, full.babySteps, evk);
+    const size_t stc_diags = stageDiags(full.slots, full.levelsStC);
+    for (size_t s = 0; s < full.levelsStC; ++s) {
+        int diag_obj = kb2.plainObject(
+            "rn_stc_" + std::to_string(s),
+            static_cast<int>(stc_diags * em.level));
+        em = kb2.linearTransform(em, stc_diags, babyFor(stc_diags),
+                                 diag_obj, gk);
+    }
+    kb2.output("act_out", em);
+
+    w.repeat = 10.0; // 20 layers + ~10 bootstraps
+    return w;
+}
+
+Workload
+buildDbLookup(const FheParams &fhe, size_t records)
+{
+    // HElib-style lookup on BGV: select via encrypted one-hot query
+    // (records plaintext multiplies + tree adds) and aggregate with
+    // log2(records) rotations. Depth 1, small chain.
+    Workload w;
+    FheParams bgv = fhe;
+    bgv.logN = 13;
+    bgv.levels = 3;
+    bgv.dnum = 1;
+    w.fhe = bgv;
+    w.amortizeFactor = double(bgv.degree());
+    w.program.name = "dblookup";
+
+    KernelBuilder kb(w.program, bgv);
+    int gk = kb.switchingKeyObject("galois_keys");
+    int db = kb.plainObject("database",
+                            static_cast<int>(records * bgv.levels));
+
+    IrCt query = kb.inputCiphertext("query", bgv.levels);
+    std::vector<IrCt> selected;
+    for (size_t r = 0; r < records; ++r)
+        selected.push_back(
+            kb.multPlain(query, db, static_cast<int>(r * bgv.levels)));
+    // Tree reduction.
+    while (selected.size() > 1) {
+        std::vector<IrCt> next;
+        for (size_t i = 0; i + 1 < selected.size(); i += 2)
+            next.push_back(kb.hadd(selected[i], selected[i + 1]));
+        if (selected.size() % 2)
+            next.push_back(selected.back());
+        selected = std::move(next);
+    }
+    IrCt acc = selected[0];
+    for (size_t s = 0; s < log2Exact(records); ++s)
+        acc = kb.hadd(acc, kb.rotate(acc, 5 + s, gk));
+    kb.output("result", acc);
+    return w;
+}
+
+Workload
+buildTfheBootstrap()
+{
+    // TFHE gate bootstrapping (Sec. VI-D): n_lwe blind-rotation steps,
+    // each an external product of 2 RGSW rows over l = 2 decomposition
+    // digits, on N = 2^13; shifts map onto the automorphism unit with
+    // the fixed network bypassed.
+    Workload w;
+    FheParams p;
+    p.logN = 13;
+    p.levels = 2; // l = 2 decomposition digits as limbs
+    p.dnum = 1;
+    w.fhe = p;
+    w.amortizeFactor = 1.0;
+    w.program.name = "tfhe_bootstrap";
+
+    KernelBuilder kb(w.program, p);
+    IrBuilder &b = kb.builder();
+    const size_t n_lwe = 512;
+    int bsk = b.object("bootstrap_key",
+                       static_cast<int>(n_lwe * 4 * p.levels), true);
+
+    IrCt acc = kb.inputCiphertext("acc", p.levels);
+    for (size_t i = 0; i < n_lwe; ++i) {
+        // Blind rotation step: X^{a_i} shift (AUTO), then the external
+        // product: decompose (iNTT), per digit multiply with the RGSW
+        // row (NTT-domain) and accumulate.
+        PolyVal rot0 = b.automorph(acc.c0, 5);
+        PolyVal rot1 = b.automorph(acc.c1, 5);
+        PolyVal d0 = b.intt(rot0);
+        PolyVal d1 = b.intt(rot1);
+        PolyVal acc0, acc1;
+        for (size_t digit = 0; digit < 2; ++digit) {
+            PolyVal row_b = b.load(
+                bsk, static_cast<int>((i * 4 + digit * 2) * p.levels),
+                p.levels);
+            PolyVal row_a = b.load(
+                bsk,
+                static_cast<int>((i * 4 + digit * 2 + 1) * p.levels),
+                p.levels);
+            PolyVal src = digit == 0 ? d0 : d1;
+            PolyVal up = b.ntt(src);
+            PolyVal pb = b.mul(up, row_b);
+            PolyVal pa = b.mul(up, row_a);
+            if (digit == 0) {
+                acc0 = pb;
+                acc1 = pa;
+            } else {
+                acc0 = b.add(acc0, pb);
+                acc1 = b.add(acc1, pa);
+            }
+        }
+        acc.c0 = acc0;
+        acc.c1 = acc1;
+    }
+    // Sample extraction: one AUTO (shift/reverse) per poly.
+    acc.c0 = b.automorph(acc.c0, 3);
+    acc.c1 = b.automorph(acc.c1, 3);
+    kb.output("lwe_out", acc);
+    return w;
+}
+
+std::vector<std::pair<std::string, Workload>>
+buildAllBenchmarks(const FheParams &fhe)
+{
+    std::vector<std::pair<std::string, Workload>> out;
+    out.emplace_back("DBLookup", buildDbLookup(fhe));
+    out.emplace_back("ResNet20", buildResNet20(fhe));
+    out.emplace_back("HELR", buildHelr(fhe));
+    out.emplace_back("Bootstrapping", buildBootstrapping(fhe));
+    return out;
+}
+
+} // namespace effact

@@ -1,0 +1,77 @@
+#include "isa/isa.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace effact {
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::MMUL: return "MMUL";
+      case Opcode::MMAD: return "MMAD";
+      case Opcode::MSUB: return "MSUB";
+      case Opcode::MMAC: return "MMAC";
+      case Opcode::NTT: return "NTT";
+      case Opcode::INTT: return "INTT";
+      case Opcode::AUTO: return "AUTO";
+      case Opcode::LOAD_RES: return "LoadRes";
+      case Opcode::STORE_RES: return "StoreRes";
+      case Opcode::VEC_COPY: return "VecCopy";
+    }
+    panic("unknown opcode %d", static_cast<int>(op));
+}
+
+namespace {
+
+std::string
+operandStr(const Operand &o)
+{
+    switch (o.kind) {
+      case OperandKind::None:
+        return "-";
+      case OperandKind::Reg:
+        return "r" + std::to_string(o.reg);
+      case OperandKind::Stream:
+        return "fifo" + std::to_string(o.value);
+      case OperandKind::Imm:
+        return "#" + std::to_string(o.value);
+    }
+    return "?";
+}
+
+} // namespace
+
+std::string
+disassemble(const MachInst &inst)
+{
+    std::ostringstream os;
+    os << opcodeName(inst.op) << " " << operandStr(inst.dest);
+    if (inst.src0.kind != OperandKind::None)
+        os << ", " << operandStr(inst.src0);
+    if (inst.src1.kind != OperandKind::None)
+        os << ", " << operandStr(inst.src1);
+    os << " [q" << inst.modulus << "]";
+    if (inst.op == Opcode::AUTO)
+        os << " elt=" << inst.imm;
+    if (inst.op == Opcode::LOAD_RES || inst.op == Opcode::STORE_RES)
+        os << " @0x" << std::hex << inst.hbmAddr << std::dec;
+    return os.str();
+}
+
+std::string
+disassemble(const MachineProgram &prog, size_t limit)
+{
+    std::ostringstream os;
+    size_t count = limit == 0 ? prog.insts.size()
+                              : std::min(limit, prog.insts.size());
+    for (size_t i = 0; i < count; ++i)
+        os << i << ": " << disassemble(prog.insts[i]) << "\n";
+    if (count < prog.insts.size())
+        os << "... (" << (prog.insts.size() - count) << " more)\n";
+    return os.str();
+}
+
+} // namespace effact

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The EFFACT vector ISA (Table II): residue-polynomial-level instructions
+ * executed by the accelerator. One instruction operates on one residue
+ * polynomial of N coefficients, vectorized over `lanes` hardware lanes.
+ *
+ * Machine instructions are the post-compilation form: operands are SRAM
+ * register ids (the compiler splits on-chip SRAM into residue-polynomial-
+ * sized registers, Sec. IV-B2) or streaming FIFO tokens (Sec. IV-B3), and
+ * loads/stores carry HBM addresses.
+ */
+#ifndef EFFACT_ISA_ISA_H
+#define EFFACT_ISA_ISA_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "math/mod_arith.h"
+
+namespace effact {
+
+/** Machine opcodes, Table II. */
+enum class Opcode : uint8_t {
+    MMUL,     ///< modular multiply (vector x vector or x immediate)
+    MMAD,     ///< modular add (vector + vector or + immediate)
+    MSUB,     ///< modular subtract (encoded as MMAD with negation flag)
+    MMAC,     ///< fused multiply-accumulate (executes on reused NTT units)
+    NTT,      ///< forward NTT on one residue
+    INTT,     ///< inverse NTT on one residue
+    AUTO,     ///< automorphism (fixed network + auto-mapping units)
+    LOAD_RES, ///< load a residue from HBM into SRAM
+    STORE_RES,///< store a residue from SRAM to HBM
+    VEC_COPY, ///< move a residue between on-chip SRAM registers
+};
+
+/** Operand kinds for machine instructions. */
+enum class OperandKind : uint8_t {
+    None,
+    Reg,    ///< SRAM register (one residue polynomial)
+    Stream, ///< streaming FIFO operand fed straight from HBM or an FU
+    Imm,    ///< scalar immediate broadcast over the residue
+};
+
+/** One machine operand. */
+struct Operand
+{
+    OperandKind kind = OperandKind::None;
+    int reg = -1;    ///< register id for Reg
+    u64 value = 0;   ///< immediate value, HBM address, or stream token
+    bool dram = false; ///< Stream operand fed from DRAM (vs FU FIFO)
+
+    static Operand none() { return {}; }
+    static Operand regOp(int r) { return {OperandKind::Reg, r, 0, false}; }
+    static Operand stream(u64 token, bool from_dram = false)
+    {
+        return {OperandKind::Stream, -1, token, from_dram};
+    }
+    static Operand imm(u64 v) { return {OperandKind::Imm, -1, v, false}; }
+};
+
+/** A machine instruction. */
+struct MachInst
+{
+    Opcode op = Opcode::MMUL;
+    Operand dest;
+    Operand src0;
+    Operand src1;
+    uint32_t modulus = 0; ///< limb prime index (selects FU constants)
+    u64 imm = 0;          ///< automorphism Galois element, etc.
+    u64 hbmAddr = 0;      ///< HBM address for LOAD/STORE/stream fill
+    int irId = -1;        ///< originating IR value (debug/stats)
+};
+
+/** A compiled machine program plus metadata the simulator needs. */
+struct MachineProgram
+{
+    std::vector<MachInst> insts;
+    size_t numRegs = 0;        ///< SRAM registers used
+    size_t residueBytes = 0;   ///< bytes per residue polynomial
+    size_t spillLoads = 0;     ///< regalloc-inserted reloads
+    size_t spillStores = 0;    ///< regalloc-inserted spills
+    size_t streamedOps = 0;    ///< operands converted to streaming
+};
+
+/** Mnemonic for an opcode. */
+const char *opcodeName(Opcode op);
+
+/** Human-readable disassembly of one instruction. */
+std::string disassemble(const MachInst &inst);
+
+/** Disassembles a whole program (for tests and debugging). */
+std::string disassemble(const MachineProgram &prog, size_t limit = 0);
+
+} // namespace effact
+
+#endif // EFFACT_ISA_ISA_H

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Galois automorphisms σ_t : X -> X^t (t odd) on Z_q[X]/(X^N + 1).
+ *
+ * Used for homomorphic rotation (t = 5^s mod 2N, Eq. 4) and conjugation
+ * (t = 2N - 1). Supports both coefficient-domain application (index map
+ * with sign wrap) and evaluation-domain application on the bit-reversed
+ * NTT ordering produced by `Ntt::forward` (Eq. 2's BR(σ'(BR(·))) form).
+ */
+#ifndef EFFACT_MATH_AUTOMORPHISM_H
+#define EFFACT_MATH_AUTOMORPHISM_H
+
+#include <cstddef>
+#include <vector>
+
+#include "math/mod_arith.h"
+
+namespace effact {
+
+/** Galois element for a left-rotation by `steps` slots: 5^steps mod 2N. */
+u64 galoisElt(int steps, size_t n);
+
+/** Galois element for complex conjugation: 2N - 1. */
+u64 galoisEltConjugate(size_t n);
+
+/**
+ * Applies σ_t in the coefficient domain: out[it mod N] = ±in[i], with a
+ * sign flip when floor(it / N) is odd (X^N = -1).
+ */
+void applyAutoCoeff(const u64 *in, u64 *out, size_t n, u64 t, u64 q);
+
+/**
+ * Precomputed evaluation-domain permutation for σ_t on the bit-reversed
+ * NTT layout: slot j holds a(ψ^(2·br(j)+1)), so σ_t(a) at slot j reads
+ * the input slot whose exponent is t·(2·br(j)+1) mod 2N. Pure permutation,
+ * no sign flips (signs are absorbed by the evaluation points).
+ */
+class AutoPermutation
+{
+  public:
+    AutoPermutation(size_t n, u64 t);
+
+    /** out[j] = in[source(j)]. */
+    void apply(const u64 *in, u64 *out) const;
+
+    size_t source(size_t j) const { return src_[j]; }
+    size_t degree() const { return src_.size(); }
+
+  private:
+    std::vector<uint32_t> src_;
+};
+
+} // namespace effact
+
+#endif // EFFACT_MATH_AUTOMORPHISM_H

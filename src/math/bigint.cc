@@ -1,0 +1,157 @@
+#include "math/bigint.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace effact {
+
+BigInt::BigInt(u64 v)
+{
+    if (v != 0)
+        words_.push_back(v);
+}
+
+bool
+BigInt::isZero() const
+{
+    return words_.empty();
+}
+
+void
+BigInt::trim()
+{
+    while (!words_.empty() && words_.back() == 0)
+        words_.pop_back();
+}
+
+void
+BigInt::add(const BigInt &other)
+{
+    const size_t n = std::max(words_.size(), other.words_.size());
+    words_.resize(n, 0);
+    u64 carry = 0;
+    for (size_t i = 0; i < n; ++i) {
+        u128 s = static_cast<u128>(words_[i]) + carry +
+                 (i < other.words_.size() ? other.words_[i] : 0);
+        words_[i] = static_cast<u64>(s);
+        carry = static_cast<u64>(s >> 64);
+    }
+    if (carry)
+        words_.push_back(carry);
+}
+
+void
+BigInt::sub(const BigInt &other)
+{
+    EFFACT_ASSERT(compare(other) >= 0, "BigInt::sub would underflow");
+    u64 borrow = 0;
+    for (size_t i = 0; i < words_.size(); ++i) {
+        u64 rhs = (i < other.words_.size() ? other.words_[i] : 0);
+        u128 lhs = static_cast<u128>(words_[i]);
+        u128 need = static_cast<u128>(rhs) + borrow;
+        if (lhs >= need) {
+            words_[i] = static_cast<u64>(lhs - need);
+            borrow = 0;
+        } else {
+            words_[i] = static_cast<u64>((static_cast<u128>(1) << 64) +
+                                         lhs - need);
+            borrow = 1;
+        }
+    }
+    EFFACT_ASSERT(borrow == 0, "BigInt::sub underflow");
+    trim();
+}
+
+void
+BigInt::mulU64(u64 m)
+{
+    if (m == 0 || words_.empty()) {
+        words_.clear();
+        return;
+    }
+    u64 carry = 0;
+    for (auto &w : words_) {
+        u128 p = static_cast<u128>(w) * m + carry;
+        w = static_cast<u64>(p);
+        carry = static_cast<u64>(p >> 64);
+    }
+    if (carry)
+        words_.push_back(carry);
+}
+
+void
+BigInt::addU64(u64 v)
+{
+    add(BigInt(v));
+}
+
+u64
+BigInt::modU64(u64 m) const
+{
+    EFFACT_ASSERT(m != 0, "mod by zero");
+    u64 r = 0;
+    for (size_t i = words_.size(); i-- > 0;) {
+        u128 acc = (static_cast<u128>(r) << 64) | words_[i];
+        r = static_cast<u64>(acc % m);
+    }
+    return r;
+}
+
+int
+BigInt::compare(const BigInt &other) const
+{
+    if (words_.size() != other.words_.size())
+        return words_.size() < other.words_.size() ? -1 : 1;
+    for (size_t i = words_.size(); i-- > 0;) {
+        if (words_[i] != other.words_[i])
+            return words_[i] < other.words_[i] ? -1 : 1;
+    }
+    return 0;
+}
+
+void
+BigInt::shiftRight1()
+{
+    for (size_t i = 0; i < words_.size(); ++i) {
+        words_[i] >>= 1;
+        if (i + 1 < words_.size() && (words_[i + 1] & 1))
+            words_[i] |= (1ULL << 63);
+    }
+    trim();
+}
+
+double
+BigInt::toDouble() const
+{
+    double acc = 0.0;
+    for (size_t i = words_.size(); i-- > 0;)
+        acc = acc * 0x1.0p64 + static_cast<double>(words_[i]);
+    return acc;
+}
+
+std::string
+BigInt::toString() const
+{
+    if (isZero())
+        return "0";
+    BigInt tmp = *this;
+    std::string digits;
+    while (!tmp.isZero()) {
+        u64 rem = tmp.modU64(10);
+        digits.push_back(static_cast<char>('0' + rem));
+        // tmp /= 10 via schoolbook division by a word.
+        u64 carry = 0;
+        for (size_t i = tmp.words_.size(); i-- > 0;) {
+            u128 acc = (static_cast<u128>(carry) << 64) | tmp.words_[i];
+            tmp.words_[i] = static_cast<u64>(acc / 10);
+            carry = static_cast<u64>(acc % 10);
+        }
+        tmp.trim();
+    }
+    std::reverse(digits.begin(), digits.end());
+    return digits;
+}
+
+} // namespace effact

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Minimal unsigned big integer used for exact CRT reconstruction
+ * (Garner's mixed-radix algorithm) when decrypting/decoding RNS
+ * polynomials. Only the operations the CRT path needs are provided.
+ */
+#ifndef EFFACT_MATH_BIGINT_H
+#define EFFACT_MATH_BIGINT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "math/mod_arith.h"
+
+namespace effact {
+
+/** Arbitrary-precision unsigned integer, little-endian 64-bit words. */
+class BigInt
+{
+  public:
+    BigInt() = default;
+    explicit BigInt(u64 v);
+
+    bool isZero() const;
+
+    /** this += other. */
+    void add(const BigInt &other);
+
+    /** this -= other; requires this >= other. */
+    void sub(const BigInt &other);
+
+    /** this *= m (64-bit multiplier). */
+    void mulU64(u64 m);
+
+    /** this += v (64-bit addend). */
+    void addU64(u64 v);
+
+    /** this mod m (64-bit modulus). */
+    u64 modU64(u64 m) const;
+
+    /** -1, 0, 1 comparison. */
+    int compare(const BigInt &other) const;
+
+    /** this >>= 1. */
+    void shiftRight1();
+
+    /** Approximate conversion to double (may overflow to inf for huge). */
+    double toDouble() const;
+
+    /** Decimal string (for diagnostics). */
+    std::string toString() const;
+
+    const std::vector<u64> &words() const { return words_; }
+
+  private:
+    void trim();
+
+    std::vector<u64> words_; ///< little-endian; empty == zero
+};
+
+} // namespace effact
+
+#endif // EFFACT_MATH_BIGINT_H

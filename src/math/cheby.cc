@@ -1,0 +1,57 @@
+#include "math/cheby.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace effact {
+
+ChebyshevSeries
+ChebyshevSeries::fit(const std::function<double(double)> &f, double a,
+                     double b, size_t degree)
+{
+    EFFACT_ASSERT(b > a, "invalid Chebyshev interval");
+    const size_t n = degree + 1;
+    ChebyshevSeries s;
+    s.a_ = a;
+    s.b_ = b;
+    s.coeffs_.assign(n, 0.0);
+
+    // Sample f at the Chebyshev nodes of the interval.
+    std::vector<double> fv(n);
+    for (size_t k = 0; k < n; ++k) {
+        double theta = M_PI * (k + 0.5) / n;
+        double y = std::cos(theta);
+        double x = 0.5 * (b - a) * y + 0.5 * (a + b);
+        fv[k] = f(x);
+    }
+    for (size_t j = 0; j < n; ++j) {
+        double acc = 0.0;
+        for (size_t k = 0; k < n; ++k)
+            acc += fv[k] * std::cos(M_PI * j * (k + 0.5) / n);
+        s.coeffs_[j] = 2.0 * acc / n;
+    }
+    return s;
+}
+
+double
+ChebyshevSeries::normalize(double x) const
+{
+    return (2.0 * x - (a_ + b_)) / (b_ - a_);
+}
+
+double
+ChebyshevSeries::eval(double x) const
+{
+    const double y = normalize(x);
+    // Clenshaw recurrence.
+    double b1 = 0.0, b2 = 0.0;
+    for (size_t j = coeffs_.size(); j-- > 1;) {
+        double t = 2.0 * y * b1 - b2 + coeffs_[j];
+        b2 = b1;
+        b1 = t;
+    }
+    return y * b1 - b2 + 0.5 * coeffs_[0];
+}
+
+} // namespace effact

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Chebyshev approximation utilities, used by CKKS bootstrapping's EvalMod
+ * step to approximate (q/2π)·sin(2πx/q) on the ModRaise range.
+ */
+#ifndef EFFACT_MATH_CHEBY_H
+#define EFFACT_MATH_CHEBY_H
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace effact {
+
+/** Chebyshev series c_0/2 + sum c_k T_k(y) on an interval [a, b]. */
+class ChebyshevSeries
+{
+  public:
+    /**
+     * Fits `degree + 1` coefficients to f over [a, b] via the classic
+     * Chebyshev-node projection.
+     */
+    static ChebyshevSeries fit(const std::function<double(double)> &f,
+                               double a, double b, size_t degree);
+
+    /** Clenshaw evaluation (double-precision reference). */
+    double eval(double x) const;
+
+    const std::vector<double> &coeffs() const { return coeffs_; }
+    double lower() const { return a_; }
+    double upper() const { return b_; }
+    size_t degree() const { return coeffs_.empty() ? 0 : coeffs_.size() - 1; }
+
+    /** Maps x in [a,b] to y in [-1,1]. */
+    double normalize(double x) const;
+
+  private:
+    std::vector<double> coeffs_;
+    double a_ = -1.0;
+    double b_ = 1.0;
+};
+
+} // namespace effact
+
+#endif // EFFACT_MATH_CHEBY_H

@@ -1,0 +1,40 @@
+#include "math/fixed_network.h"
+
+#include "common/bitops.h"
+#include "common/logging.h"
+
+namespace effact {
+
+FixedNetwork::FixedNetwork(size_t lanes) : lanes_(lanes)
+{
+    EFFACT_ASSERT(isPowerOfTwo(lanes), "lane count must be a power of two");
+    const uint32_t bits = log2Exact(lanes);
+    wiring_.resize(lanes);
+    for (size_t c = 0; c < lanes; ++c)
+        wiring_[c] = bitReverse(static_cast<uint32_t>(c), bits);
+}
+
+void
+FixedNetwork::permuteRow(const u64 *in, u64 *out) const
+{
+    for (size_t c = 0; c < lanes_; ++c)
+        out[c] = in[wiring_[c]];
+}
+
+std::vector<u64>
+FixedNetwork::transposeFromBitrev(const std::vector<u64> &x_bitrev) const
+{
+    const size_t rows = lanes_;
+    EFFACT_ASSERT(x_bitrev.size() == rows * lanes_,
+                  "fixed network expects a square lanes x lanes matrix");
+    const uint32_t bits = log2Exact(rows);
+    std::vector<u64> out(x_bitrev.size());
+    for (size_t r = 0; r < rows; ++r) {
+        // SRAM fetch-order change: output row r is input row br(r).
+        size_t src_row = bitReverse(static_cast<uint32_t>(r), bits);
+        permuteRow(&x_bitrev[src_row * lanes_], &out[r * lanes_]);
+    }
+    return out;
+}
+
+} // namespace effact

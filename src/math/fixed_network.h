@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Fixed-network (FN) transpose model, Fig. 7 of the paper.
+ *
+ * ARK/SHARP transpose the coefficient matrix around the auto-mapping units
+ * by banked register-file column access; CraterLake uses a large transpose
+ * unit. EFFACT instead exploits the bit-reversed NTT ordering: if x is an
+ * array of N = R*C elements stored in bit-reversed order, then the matrix
+ * B[r][c] = x[r*C + c] satisfies B = P · A^T · P, where A is the natural-
+ * order matrix and P is the bit-reversal permutation applied to rows and to
+ * columns. Hence A^T = P · B · P: the transpose is obtained by fetching
+ * rows in bit-reversed order (an SRAM addressing change) and passing every
+ * row through the *same* fixed wiring P — no transpose unit and no banked
+ * column access required.
+ */
+#ifndef EFFACT_MATH_FIXED_NETWORK_H
+#define EFFACT_MATH_FIXED_NETWORK_H
+
+#include <cstddef>
+#include <vector>
+
+#include "math/mod_arith.h"
+
+namespace effact {
+
+/** Fixed-wiring network permuting one row of `lanes` elements. */
+class FixedNetwork
+{
+  public:
+    explicit FixedNetwork(size_t lanes);
+
+    size_t lanes() const { return lanes_; }
+
+    /** Applies the fixed bit-reversal wiring to one row (in-place copy). */
+    void permuteRow(const u64 *in, u64 *out) const;
+
+    /**
+     * Full transpose via the fixed network. `x_bitrev` holds the natural
+     * array in bit-reversed order (the NTT-domain layout); returns the
+     * row-major transpose of the natural R x C matrix, with R = C = lanes.
+     */
+    std::vector<u64> transposeFromBitrev(const std::vector<u64> &x_bitrev)
+        const;
+
+    /**
+     * Estimated wiring cost in wire-crossings: the FN is a static
+     * permutation of `lanes` wires, O(lanes), versus O(lanes^2) for a
+     * crossbar-based transpose unit (CraterLake) — used by the area model.
+     */
+    static double wiringCost(size_t lanes) { return double(lanes); }
+
+  private:
+    size_t lanes_;
+    std::vector<uint32_t> wiring_; ///< column bit-reversal pattern
+};
+
+} // namespace effact
+
+#endif // EFFACT_MATH_FIXED_NETWORK_H

@@ -1,0 +1,39 @@
+#include "math/mod_arith.h"
+
+#include "common/logging.h"
+
+namespace effact {
+
+u64
+powMod(u64 a, u64 e, u64 q)
+{
+    u64 result = 1 % q;
+    u64 base = a % q;
+    while (e > 0) {
+        if (e & 1)
+            result = mulMod(result, base, q);
+        base = mulMod(base, base, q);
+        e >>= 1;
+    }
+    return result;
+}
+
+u64
+invMod(u64 a, u64 q)
+{
+    EFFACT_ASSERT(a % q != 0, "inverse of 0 mod %llu",
+                  static_cast<unsigned long long>(q));
+    // q is prime in all our uses: Fermat's little theorem.
+    return powMod(a % q, q - 2, q);
+}
+
+Barrett::Barrett(u64 q) : q_(q)
+{
+    EFFACT_ASSERT(q >= 2 && q < (1ULL << 59), "Barrett modulus out of range");
+    k_ = 64 - static_cast<unsigned>(__builtin_clzll(q));
+    // mu = floor(2^(2k) / q); 2k <= 118 so the division fits in u128.
+    u128 numerator = static_cast<u128>(1) << (2 * k_);
+    mu_ = static_cast<u64>(numerator / q);
+}
+
+} // namespace effact

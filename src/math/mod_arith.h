@@ -1,0 +1,116 @@
+/**
+ * @file
+ * 64-bit modular arithmetic used throughout the RNS/CKKS substrate.
+ *
+ * All moduli are < 2^59 (the paper uses log q = 54-bit limb primes) so
+ * that add/sub never overflow and Barrett reduction has headroom.
+ * Multiplication goes through a 128-bit product.
+ */
+#ifndef EFFACT_MATH_MOD_ARITH_H
+#define EFFACT_MATH_MOD_ARITH_H
+
+#include <cstdint>
+
+namespace effact {
+
+using u64 = uint64_t;
+using u128 = unsigned __int128;
+using i64 = int64_t;
+
+/** (a + b) mod q, for a, b < q. */
+inline u64
+addMod(u64 a, u64 b, u64 q)
+{
+    u64 s = a + b;
+    return s >= q ? s - q : s;
+}
+
+/** (a - b) mod q, for a, b < q. */
+inline u64
+subMod(u64 a, u64 b, u64 q)
+{
+    return a >= b ? a - b : a + q - b;
+}
+
+/** (a * b) mod q via 128-bit product. */
+inline u64
+mulMod(u64 a, u64 b, u64 q)
+{
+    return static_cast<u64>((static_cast<u128>(a) * b) % q);
+}
+
+/** -a mod q, for a < q. */
+inline u64
+negMod(u64 a, u64 q)
+{
+    return a == 0 ? 0 : q - a;
+}
+
+/** a^e mod q by square-and-multiply. */
+u64 powMod(u64 a, u64 e, u64 q);
+
+/** Modular inverse of a mod q (q prime). */
+u64 invMod(u64 a, u64 q);
+
+/** Reduces a signed value into [0, q). */
+inline u64
+reduceSigned(i64 v, u64 q)
+{
+    i64 m = v % static_cast<i64>(q);
+    if (m < 0)
+        m += static_cast<i64>(q);
+    return static_cast<u64>(m);
+}
+
+/** Centered representative of a mod q, in [-q/2, q/2). */
+inline i64
+centered(u64 a, u64 q)
+{
+    return a >= (q + 1) / 2 ? static_cast<i64>(a) - static_cast<i64>(q)
+                            : static_cast<i64>(a);
+}
+
+/**
+ * Barrett reducer for a fixed modulus q < 2^59.
+ *
+ * Precomputes mu = floor(2^(2k) / q) with k = bits(q); `reduce` then
+ * replaces the hardware divide with two multiplies and a correction loop
+ * that runs at most twice.
+ */
+class Barrett
+{
+  public:
+    Barrett() : q_(0), mu_(0), k_(0) {}
+    explicit Barrett(u64 q);
+
+    u64 modulus() const { return q_; }
+
+    /** x mod q for x < q^2. */
+    u64
+    reduce(u128 x) const
+    {
+        u128 q1 = x >> (k_ - 1);
+        u128 q2 = q1 * mu_;
+        u64 q3 = static_cast<u64>(q2 >> (k_ + 1));
+        u64 r = static_cast<u64>(x - static_cast<u128>(q3) * q_);
+        while (r >= q_)
+            r -= q_;
+        return r;
+    }
+
+    /** (a * b) mod q. */
+    u64
+    mul(u64 a, u64 b) const
+    {
+        return reduce(static_cast<u128>(a) * b);
+    }
+
+  private:
+    u64 q_;
+    u64 mu_; ///< floor(2^(2k) / q)
+    unsigned k_; ///< bit length of q
+};
+
+} // namespace effact
+
+#endif // EFFACT_MATH_MOD_ARITH_H

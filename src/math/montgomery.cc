@@ -1,0 +1,23 @@
+#include "math/montgomery.h"
+
+#include "common/logging.h"
+
+namespace effact {
+
+Montgomery::Montgomery(u64 q) : q_(q)
+{
+    EFFACT_ASSERT((q & 1) == 1 && q >= 3 && q < (1ULL << 62),
+                  "Montgomery modulus must be odd and < 2^62");
+
+    // Newton iteration for q^-1 mod 2^64: each step doubles precision.
+    u64 inv = q; // correct mod 2^3
+    for (int i = 0; i < 6; ++i)
+        inv *= 2 - q * inv;
+    qInvNeg_ = ~inv + 1; // -q^-1 mod 2^64
+
+    // R mod q = 2^64 mod q.
+    r1_ = static_cast<u64>(((static_cast<u128>(1) << 64)) % q);
+    r2_ = mulMod(r1_, r1_, q);
+}
+
+} // namespace effact

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Montgomery modular multiplication with single- (SM) and double- (DM)
+ * Montgomery representations.
+ *
+ * Section IV-D5 of the paper: runtime data is kept in SM form
+ * (X -> X*R mod q). Constants that must lift a non-Montgomery (NM)
+ * intermediate back into SM form are stored in DM form (X -> X*R^2 mod q);
+ * multiplying an NM value by a DM constant yields an SM result, merging
+ * the Montgomery conversion into BConv (Eq. 5).
+ */
+#ifndef EFFACT_MATH_MONTGOMERY_H
+#define EFFACT_MATH_MONTGOMERY_H
+
+#include "math/mod_arith.h"
+
+namespace effact {
+
+/** Montgomery arithmetic for a fixed odd modulus q < 2^62, R = 2^64. */
+class Montgomery
+{
+  public:
+    Montgomery() : q_(0), qInvNeg_(0), r1_(0), r2_(0) {}
+    explicit Montgomery(u64 q);
+
+    u64 modulus() const { return q_; }
+
+    /** R mod q, the SM representation of 1. */
+    u64 one() const { return r1_; }
+
+    /** R^2 mod q, used to enter the Montgomery domain. */
+    u64 rSquared() const { return r2_; }
+
+    /**
+     * Montgomery reduction: REDC(T) = T * R^-1 mod q for T < q * R.
+     */
+    u64
+    reduce(u128 t) const
+    {
+        u64 m = static_cast<u64>(t) * qInvNeg_;
+        u128 sum = t + static_cast<u128>(m) * q_;
+        u64 r = static_cast<u64>(sum >> 64);
+        return r >= q_ ? r - q_ : r;
+    }
+
+    /** Product of two Montgomery-domain values: (a*b*R^-1) mod q. */
+    u64
+    mul(u64 a, u64 b) const
+    {
+        return reduce(static_cast<u128>(a) * b);
+    }
+
+    /** NM -> SM: X -> X*R mod q. */
+    u64 toMont(u64 x) const { return mul(x, r2_); }
+
+    /** SM -> NM: X*R -> X mod q. */
+    u64 fromMont(u64 x) const { return reduce(x); }
+
+    /** NM -> DM: X -> X*R^2 mod q (for merged-conversion constants). */
+    u64 toDoubleMont(u64 x) const { return mul(toMont(x), r2_); }
+
+  private:
+    u64 q_;
+    u64 qInvNeg_; ///< -q^-1 mod 2^64
+    u64 r1_;      ///< R mod q
+    u64 r2_;      ///< R^2 mod q
+};
+
+} // namespace effact
+
+#endif // EFFACT_MATH_MONTGOMERY_H

@@ -1,0 +1,135 @@
+#include "math/ntt.h"
+
+#include "common/bitops.h"
+#include "common/logging.h"
+#include "math/primes.h"
+
+namespace effact {
+
+Ntt::Ntt(size_t n, u64 q) : n_(n), q_(q), barrett_(q)
+{
+    EFFACT_ASSERT(isPowerOfTwo(n) && n >= 2, "NTT size must be a power of 2");
+    EFFACT_ASSERT((q - 1) % (2 * n) == 0,
+                  "modulus %llu is not NTT-friendly for N=%zu",
+                  static_cast<unsigned long long>(q), n);
+
+    psi_ = findPrimitiveRoot(2 * static_cast<u64>(n), q);
+    nInv_ = invMod(static_cast<u64>(n), q);
+
+    const uint32_t logn = log2Exact(n);
+    rootsBitrev_.resize(n);
+    invRootsBitrev_.resize(n);
+    const u64 psi_inv = invMod(psi_, q);
+    u64 fwd = 1;
+    u64 inv = 1;
+    std::vector<u64> fwd_pow(n), inv_pow(n);
+    for (size_t i = 0; i < n; ++i) {
+        fwd_pow[i] = fwd;
+        inv_pow[i] = inv;
+        fwd = mulMod(fwd, psi_, q);
+        inv = mulMod(inv, psi_inv, q);
+    }
+    for (size_t i = 0; i < n; ++i) {
+        uint32_t r = bitReverse(static_cast<uint32_t>(i), logn);
+        rootsBitrev_[i] = fwd_pow[r];
+        invRootsBitrev_[i] = inv_pow[r];
+    }
+}
+
+void
+Ntt::forward(u64 *a) const
+{
+    // Cooley-Tukey DIT with merged psi powers (Longa-Naehrig style):
+    // natural-order input, bit-reversed-order output.
+    size_t t = n_;
+    for (size_t m = 1; m < n_; m <<= 1) {
+        t >>= 1;
+        for (size_t i = 0; i < m; ++i) {
+            const u64 w = rootsBitrev_[m + i];
+            const size_t j1 = 2 * i * t;
+            for (size_t j = j1; j < j1 + t; ++j) {
+                const u64 u = a[j];
+                const u64 v = barrett_.mul(a[j + t], w);
+                a[j] = addMod(u, v, q_);
+                a[j + t] = subMod(u, v, q_);
+            }
+        }
+    }
+}
+
+void
+Ntt::transformBackward(u64 *a, bool scale) const
+{
+    // Gentleman-Sande DIF consuming bit-reversed order.
+    size_t t = 1;
+    for (size_t m = n_; m > 1; m >>= 1) {
+        const size_t h = m >> 1;
+        for (size_t i = 0; i < h; ++i) {
+            const u64 w = invRootsBitrev_[h + i];
+            const size_t j1 = 2 * i * t;
+            for (size_t j = j1; j < j1 + t; ++j) {
+                const u64 u = a[j];
+                const u64 v = a[j + t];
+                a[j] = addMod(u, v, q_);
+                a[j + t] = barrett_.mul(subMod(u, v, q_), w);
+            }
+        }
+        t <<= 1;
+    }
+    if (scale) {
+        for (size_t i = 0; i < n_; ++i)
+            a[i] = barrett_.mul(a[i], nInv_);
+    }
+}
+
+void
+Ntt::backward(u64 *a) const
+{
+    transformBackward(a, true);
+}
+
+void
+Ntt::backwardNoScale(u64 *a) const
+{
+    transformBackward(a, false);
+}
+
+void
+Ntt::forward(std::vector<u64> &a) const
+{
+    EFFACT_ASSERT(a.size() == n_, "NTT size mismatch");
+    forward(a.data());
+}
+
+void
+Ntt::backward(std::vector<u64> &a) const
+{
+    EFFACT_ASSERT(a.size() == n_, "NTT size mismatch");
+    backward(a.data());
+}
+
+std::vector<u64>
+Ntt::negacyclicMulSchoolbook(const std::vector<u64> &a,
+                             const std::vector<u64> &b, u64 q)
+{
+    const size_t n = a.size();
+    EFFACT_ASSERT(b.size() == n, "operand size mismatch");
+    std::vector<u64> c(n, 0);
+    for (size_t i = 0; i < n; ++i) {
+        if (a[i] == 0)
+            continue;
+        for (size_t j = 0; j < n; ++j) {
+            u64 prod = mulMod(a[i], b[j], q);
+            size_t k = i + j;
+            if (k < n) {
+                c[k] = addMod(c[k], prod, q);
+            } else {
+                // X^N = -1: wrap with sign flip.
+                c[k - n] = subMod(c[k - n], prod, q);
+            }
+        }
+    }
+    return c;
+}
+
+} // namespace effact

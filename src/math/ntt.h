@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Negative-wrapped-convolution (NWC) NTT over Z_q[X]/(X^N + 1) (Eq. 1).
+ *
+ * The forward transform is a Cooley-Tukey decimation-in-time network whose
+ * twiddle factors are stored in bit-reversed order, so coefficient vectors
+ * never need an explicit bit-reversal pass — exactly the optimization
+ * EFFACT applies in hardware (Sec. IV-D3: "perform the bit-reversal
+ * operation on twiddle factors rather than the N coefficients"). Output is
+ * in bit-reversed evaluation order; the inverse (Gentleman-Sande) consumes
+ * that order and restores natural coefficient order.
+ *
+ * `backwardNoScale` omits the final 1/N multiplication so that callers can
+ * fold it into the first BConv constant per Eq. 5.
+ */
+#ifndef EFFACT_MATH_NTT_H
+#define EFFACT_MATH_NTT_H
+
+#include <cstddef>
+#include <vector>
+
+#include "math/mod_arith.h"
+
+namespace effact {
+
+/** NWC NTT plan for a fixed (N, q) pair. */
+class Ntt
+{
+  public:
+    /** Builds tables for ring degree `n` (power of two) and prime q. */
+    Ntt(size_t n, u64 q);
+
+    size_t degree() const { return n_; }
+    u64 modulus() const { return q_; }
+
+    /** 2N-th primitive root used by this plan. */
+    u64 psi() const { return psi_; }
+
+    /** In-place forward NTT: natural coeff order -> bit-reversed eval. */
+    void forward(u64 *a) const;
+
+    /** In-place inverse NTT: bit-reversed eval -> natural coeff order. */
+    void backward(u64 *a) const;
+
+    /** Inverse NTT without the final 1/N scaling (Eq. 5 merge). */
+    void backwardNoScale(u64 *a) const;
+
+    /** N^-1 mod q, the scaling the no-scale variant omits. */
+    u64 nInv() const { return nInv_; }
+
+    /** Convenience on vectors (size must be N). */
+    void forward(std::vector<u64> &a) const;
+    void backward(std::vector<u64> &a) const;
+
+    /**
+     * Negacyclic convolution reference: c = a * b mod (X^N + 1, q).
+     * O(N^2); used only by tests as ground truth for the NTT path.
+     */
+    static std::vector<u64> negacyclicMulSchoolbook(
+        const std::vector<u64> &a, const std::vector<u64> &b, u64 q);
+
+  private:
+    void transformBackward(u64 *a, bool scale) const;
+
+    size_t n_;
+    u64 q_;
+    u64 psi_;
+    u64 nInv_;
+    Barrett barrett_;
+    std::vector<u64> rootsBitrev_;    ///< psi^k, k bit-reversed, CT order
+    std::vector<u64> invRootsBitrev_; ///< psi^-k for the GS network
+};
+
+} // namespace effact
+
+#endif // EFFACT_MATH_NTT_H

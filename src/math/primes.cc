@@ -1,0 +1,103 @@
+#include "math/primes.h"
+
+#include <algorithm>
+
+#include "common/bitops.h"
+#include "common/logging.h"
+
+namespace effact {
+
+namespace {
+
+/** Miller-Rabin witness check. */
+bool
+witness(u64 a, u64 d, unsigned r, u64 n)
+{
+    u64 x = powMod(a, d, n);
+    if (x == 1 || x == n - 1)
+        return false;
+    for (unsigned i = 1; i < r; ++i) {
+        x = mulMod(x, x, n);
+        if (x == n - 1)
+            return false;
+    }
+    return true; // composite witness found
+}
+
+} // namespace
+
+bool
+isPrime(u64 n)
+{
+    if (n < 2)
+        return false;
+    for (u64 p : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL,
+                  23ULL, 29ULL, 31ULL, 37ULL}) {
+        if (n == p)
+            return true;
+        if (n % p == 0)
+            return false;
+    }
+    u64 d = n - 1;
+    unsigned r = 0;
+    while ((d & 1) == 0) {
+        d >>= 1;
+        ++r;
+    }
+    // This witness set is deterministic for all 64-bit integers.
+    for (u64 a : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL,
+                  23ULL, 29ULL, 31ULL, 37ULL}) {
+        if (witness(a, d, r, n))
+            return false;
+    }
+    return true;
+}
+
+std::vector<u64>
+genNttPrimes(size_t count, unsigned bits, size_t n,
+             const std::vector<u64> &exclude)
+{
+    EFFACT_ASSERT(isPowerOfTwo(n), "ring degree must be a power of two");
+    EFFACT_ASSERT(bits >= log2Exact(2 * n) + 2 && bits <= 59,
+                  "prime bit width %u out of range for N=%zu", bits, n);
+
+    const u64 step = 2 * static_cast<u64>(n);
+    std::vector<u64> primes;
+    // Largest candidate < 2^bits congruent to 1 mod 2N.
+    u64 candidate = ((((1ULL << bits) - 1) / step) * step) + 1;
+    while (primes.size() < count && candidate > (1ULL << (bits - 1))) {
+        if (isPrime(candidate) &&
+            std::find(exclude.begin(), exclude.end(), candidate) ==
+                exclude.end()) {
+            primes.push_back(candidate);
+        }
+        candidate -= step;
+    }
+    if (primes.size() < count)
+        fatal("could not find %zu NTT primes of %u bits for N=%zu", count,
+              bits, n);
+    return primes;
+}
+
+u64
+findPrimitiveRoot(u64 order, u64 q)
+{
+    EFFACT_ASSERT((q - 1) % order == 0,
+                  "no %llu-th root of unity mod %llu",
+                  static_cast<unsigned long long>(order),
+                  static_cast<unsigned long long>(q));
+    const u64 cofactor = (q - 1) / order;
+    for (u64 g = 2; g < q; ++g) {
+        u64 root = powMod(g, cofactor, q);
+        // root has order dividing `order`; check it is exactly `order`
+        // by verifying root^(order/2) != 1 (order is a power of two here).
+        if (order == 1)
+            return 1;
+        if (powMod(root, order / 2, q) == q - 1)
+            return root;
+    }
+    panic("no primitive root found (modulus %llu not prime?)",
+          static_cast<unsigned long long>(q));
+}
+
+} // namespace effact

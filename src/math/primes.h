@@ -1,0 +1,32 @@
+/**
+ * @file
+ * NTT-friendly prime generation. An RNS limb prime q must satisfy
+ * q ≡ 1 (mod 2N) so that a primitive 2N-th root of unity exists in Z_q,
+ * enabling the negative-wrapped-convolution NTT (Sec. II-B).
+ */
+#ifndef EFFACT_MATH_PRIMES_H
+#define EFFACT_MATH_PRIMES_H
+
+#include <cstddef>
+#include <vector>
+
+#include "math/mod_arith.h"
+
+namespace effact {
+
+/** Deterministic Miller-Rabin primality test, exact for 64-bit inputs. */
+bool isPrime(u64 n);
+
+/**
+ * Generates `count` distinct primes of roughly `bits` bits with
+ * q ≡ 1 (mod 2N), scanning downward from 2^bits, skipping `exclude`.
+ */
+std::vector<u64> genNttPrimes(size_t count, unsigned bits, size_t n,
+                              const std::vector<u64> &exclude = {});
+
+/** Finds a generator-derived primitive `order`-th root of unity mod q. */
+u64 findPrimitiveRoot(u64 order, u64 q);
+
+} // namespace effact
+
+#endif // EFFACT_MATH_PRIMES_H

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Analytic area/power model of EFFACT at 28 nm, calibrated with the
+ * per-component breakdown the paper reports for ASIC-EFFACT (Table IV)
+ * and scaled by unit counts / SRAM capacity for the EFFACT-54/108/162
+ * design points. Also provides the FPGA resource estimate (Table VI).
+ */
+#ifndef EFFACT_MODEL_AREA_POWER_H
+#define EFFACT_MODEL_AREA_POWER_H
+
+#include <string>
+#include <vector>
+
+#include "sim/config.h"
+
+namespace effact {
+
+/** One breakdown row: component, mm^2, W. */
+struct ComponentCost
+{
+    std::string name;
+    double areaMm2 = 0;
+    double powerW = 0;
+};
+
+/** Full chip estimate. */
+struct ChipCost
+{
+    std::vector<ComponentCost> components;
+    double totalAreaMm2 = 0;
+    double totalPowerW = 0;
+};
+
+/** Estimates area/power of a hardware configuration at 28 nm. */
+ChipCost estimateAsic(const HardwareConfig &config);
+
+/** FPGA resource estimate (Table VI row for FPGA-EFFACT). */
+struct FpgaResources
+{
+    double lut = 0, ff = 0, bram = 0, uram = 0, dsp = 0;
+};
+
+FpgaResources estimateFpga(const HardwareConfig &config);
+
+} // namespace effact
+
+#endif // EFFACT_MODEL_AREA_POWER_H

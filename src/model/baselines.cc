@@ -1,0 +1,53 @@
+#include "model/baselines.h"
+
+#include "common/logging.h"
+
+namespace effact {
+
+double
+BaselineSpec::scaledAreaMm2() const
+{
+    // HBM PHY area does not shrink with logic scaling; Table IV puts it
+    // near 30 mm^2, which we hold constant across designs with HBM.
+    const double hbm = hbmTBs > 0 ? 29.6 : 0.0;
+    double logic = areaMm2 > hbm ? areaMm2 - hbm : areaMm2;
+    return logic * areaScaleTo28(tech) + hbm;
+}
+
+double
+BaselineSpec::scaledPowerW() const
+{
+    const double hbm = hbmTBs > 0 ? 31.8 : 0.0;
+    double logic = powerW > hbm ? powerW - hbm : powerW;
+    return logic * powerScaleTo28(tech) + hbm;
+}
+
+const std::vector<BaselineSpec> &
+baselineTable()
+{
+    // Sources: Table V (tech/freq/area/power), Table VII (parallelism,
+    // multipliers, HBM, SRAM, per-benchmark results).
+    static const std::vector<BaselineSpec> table = {
+        // name       tech              GHz   mm^2   W     par    mults  TB/s SRAM  bootUs  helrMs resnetMs dbMs  asic
+        {"GPU-100x",  TechNode::Nm7,    1.0,  826,   300,  0,     0,     0.9, 40,   0.74,   775,   0,      0,    false},
+        {"F1",        TechNode::Nm14_12,1.0,  151.4, 180.4,2048,  18432, 1.0, 64,   260,    1024,  2693,   4.36, true},
+        {"BTS",       TechNode::Nm7,    1.2,  373.6, 133.8,2048,  8192,  1.0, 512,  0.045,  28.4,  2020,   0,    true},
+        {"CraterLake",TechNode::Nm14_12,1.0,  472.3, 320.0,2048,  33792, 1.0, 282,  0.017,  3.73,  249.45, 0,    true},
+        {"ARK",       TechNode::Nm7,    1.0,  418.3, 281.3,1024,  20480, 1.0, 588,  0.014,  7.72,  294,    0,    true},
+        {"CL+MAD-32", TechNode::Nm14_12,1.0,  333.9, 213.4,2048,  14336, 1.0, 32,   0.270,  47.81, 1015.8, 0,    true},
+        {"FAB",       TechNode::Nm28,   0.3,  0,     0,    256,   256,   0.46,43,   0.477,  103,   0,      0,    false},
+        {"Poseidon",  TechNode::Nm28,   0.3,  0,     0,    256,   256,   0.46,8.6,  0.840,  86.3,  2661.23,0,    false},
+    };
+    return table;
+}
+
+const BaselineSpec &
+baseline(const std::string &name)
+{
+    for (const auto &b : baselineTable())
+        if (b.name == name)
+            return b;
+    fatal("unknown baseline '%s'", name.c_str());
+}
+
+} // namespace effact

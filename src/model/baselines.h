@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Baseline accelerator database: the published per-design numbers the
+ * paper compares against (Tables V and VII). Absolute baseline runtimes
+ * are literature values (the authors likewise quote them); EFFACT's own
+ * numbers come from our simulator.
+ */
+#ifndef EFFACT_MODEL_BASELINES_H
+#define EFFACT_MODEL_BASELINES_H
+
+#include <string>
+#include <vector>
+
+#include "model/tech.h"
+
+namespace effact {
+
+/** One accelerator row across Tables V and VII. */
+struct BaselineSpec
+{
+    std::string name;
+    TechNode tech = TechNode::Nm28;
+    double freqGhz = 1.0;
+    double areaMm2 = 0;   ///< as published, at native node
+    double powerW = 0;
+    double parallelism = 0;
+    double multipliers = 0;
+    double hbmTBs = 0;
+    double sramMB = 0;
+    // Table VII benchmark results (0 = not reported).
+    double bootstrapAmortUs = 0;
+    double helrIterMs = 0;
+    double resnetMs = 0;
+    double dbLookupMs = 0;
+    bool isAsic = true;
+
+    /** Area scaled to 28 nm (HBM share kept unscaled). */
+    double scaledAreaMm2() const;
+    /** Power scaled to 28 nm. */
+    double scaledPowerW() const;
+};
+
+/** All baselines in paper order. */
+const std::vector<BaselineSpec> &baselineTable();
+
+/** Looks up one baseline by name (fatal if missing). */
+const BaselineSpec &baseline(const std::string &name);
+
+} // namespace effact
+
+#endif // EFFACT_MODEL_BASELINES_H

@@ -1,0 +1,49 @@
+#include "model/efficiency.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace effact {
+
+std::vector<double>
+perfDensityNormalized(const std::vector<EfficiencyPoint> &points)
+{
+    EFFACT_ASSERT(!points.empty(), "no efficiency points");
+    const auto &ref = points.front();
+    const double ref_density = 1.0 / (ref.runtime * ref.areaMm2);
+    std::vector<double> out;
+    for (const auto &p : points) {
+        EFFACT_ASSERT(p.runtime > 0 && p.areaMm2 > 0,
+                      "invalid efficiency point %s", p.name.c_str());
+        out.push_back((1.0 / (p.runtime * p.areaMm2)) / ref_density);
+    }
+    return out;
+}
+
+std::vector<double>
+powerEfficiencyNormalized(const std::vector<EfficiencyPoint> &points)
+{
+    EFFACT_ASSERT(!points.empty(), "no efficiency points");
+    const auto &ref = points.front();
+    const double ref_eff = 1.0 / (ref.runtime * ref.powerW);
+    std::vector<double> out;
+    for (const auto &p : points) {
+        EFFACT_ASSERT(p.runtime > 0 && p.powerW > 0,
+                      "invalid efficiency point %s", p.name.c_str());
+        out.push_back((1.0 / (p.runtime * p.powerW)) / ref_eff);
+    }
+    return out;
+}
+
+double
+gmean(const std::vector<double> &values)
+{
+    EFFACT_ASSERT(!values.empty(), "gmean of empty set");
+    double acc = 0.0;
+    for (double v : values)
+        acc += std::log(v);
+    return std::exp(acc / double(values.size()));
+}
+
+} // namespace effact

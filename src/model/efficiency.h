@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Performance density (throughput per mm^2) and power efficiency
+ * (throughput per W) normalized to F1, as plotted in Fig. 9. Throughput
+ * is 1/runtime for each benchmark.
+ */
+#ifndef EFFACT_MODEL_EFFICIENCY_H
+#define EFFACT_MODEL_EFFICIENCY_H
+
+#include <string>
+#include <vector>
+
+#include "model/baselines.h"
+
+namespace effact {
+
+/** One design point's runtime + scaled cost for efficiency plots. */
+struct EfficiencyPoint
+{
+    std::string name;
+    double runtime = 0; ///< any consistent unit per benchmark
+    double areaMm2 = 0; ///< scaled to 28 nm
+    double powerW = 0;  ///< scaled to 28 nm
+};
+
+/** Performance density relative to the first entry (F1). */
+std::vector<double> perfDensityNormalized(
+    const std::vector<EfficiencyPoint> &points);
+
+/** Power efficiency relative to the first entry (F1). */
+std::vector<double> powerEfficiencyNormalized(
+    const std::vector<EfficiencyPoint> &points);
+
+/** Geometric mean of a ratio list. */
+double gmean(const std::vector<double> &values);
+
+} // namespace effact
+
+#endif // EFFACT_MODEL_EFFICIENCY_H

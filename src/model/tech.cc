@@ -1,0 +1,38 @@
+#include "model/tech.h"
+
+namespace effact {
+
+double
+areaScaleTo28(TechNode node)
+{
+    switch (node) {
+      case TechNode::Nm7: return 3.70;     // [51], [73] density data
+      case TechNode::Nm14_12: return 1.77; // [72]
+      case TechNode::Nm28: return 1.0;
+    }
+    return 1.0;
+}
+
+double
+powerScaleTo28(TechNode node)
+{
+    switch (node) {
+      case TechNode::Nm7: return 1.95;
+      case TechNode::Nm14_12: return 1.35;
+      case TechNode::Nm28: return 1.0;
+    }
+    return 1.0;
+}
+
+const char *
+techName(TechNode node)
+{
+    switch (node) {
+      case TechNode::Nm7: return "7nm";
+      case TechNode::Nm14_12: return "14/12nm";
+      case TechNode::Nm28: return "28nm";
+    }
+    return "?";
+}
+
+} // namespace effact

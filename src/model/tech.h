@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Technology scaling to the 28 nm node (Sec. VI-A/VI-B). The paper
+ * scales prior ASICs to 28 nm with TSMC-published rules [51], [72],
+ * [73], keeping HBM unchanged. The factors below are calibrated so the
+ * scaled-area ratios of Table V are reproduced.
+ */
+#ifndef EFFACT_MODEL_TECH_H
+#define EFFACT_MODEL_TECH_H
+
+#include <string>
+
+namespace effact {
+
+/** Process nodes appearing in Table V. */
+enum class TechNode { Nm7, Nm14_12, Nm28 };
+
+/** Area multiplier when porting logic from `node` to 28 nm. */
+double areaScaleTo28(TechNode node);
+
+/** Power multiplier when porting logic from `node` to 28 nm. */
+double powerScaleTo28(TechNode node);
+
+const char *techName(TechNode node);
+
+} // namespace effact
+
+#endif // EFFACT_MODEL_TECH_H

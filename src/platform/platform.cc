@@ -1,0 +1,81 @@
+#include "platform/platform.h"
+
+namespace effact {
+
+Platform::Platform(HardwareConfig hw, CompilerOptions copts)
+    : hw_(std::move(hw)), copts_(copts)
+{
+    copts_.sramBytes = hw_.sramBytes;
+}
+
+PlatformResult
+Platform::run(Workload &workload) const
+{
+    Compiler compiler(copts_);
+    MachineProgram mp = compiler.compile(workload.program);
+
+    Simulator sim(hw_);
+    PlatformResult result;
+    result.sim = sim.run(mp);
+    result.compilerStats = compiler.stats();
+    result.benchTimeMs = result.sim.timeMs * workload.repeat;
+    result.amortizedUs =
+        result.benchTimeMs * 1e3 / workload.amortizeFactor;
+    result.dramGb = result.sim.dramBytes * workload.repeat / 1e9;
+    return result;
+}
+
+CompilerOptions
+Platform::baselineOptions(size_t sram_bytes)
+{
+    CompilerOptions o;
+    o.copyProp = false;
+    o.constProp = false;
+    o.pre = false;
+    o.peephole = false;
+    o.schedule = false;
+    o.streaming = false;
+    o.sramBytes = sram_bytes;
+    return o;
+}
+
+CompilerOptions
+Platform::madEnhancedOptions(size_t sram_bytes)
+{
+    // MAD's caching keeps reused data on chip (PRE models the reuse of
+    // keys/constants) but schedules data paths by hand within HE
+    // primitives: no global scheduling or streaming.
+    CompilerOptions o;
+    o.copyProp = true;
+    o.constProp = true;
+    o.pre = true;
+    o.peephole = false;
+    o.schedule = false;
+    o.streaming = false;
+    o.sramBytes = sram_bytes;
+    return o;
+}
+
+CompilerOptions
+Platform::streamingOptions(size_t sram_bytes)
+{
+    CompilerOptions o;
+    o.copyProp = true;
+    o.constProp = true;
+    o.pre = true;
+    o.peephole = false;
+    o.schedule = true;
+    o.streaming = true;
+    o.sramBytes = sram_bytes;
+    return o;
+}
+
+CompilerOptions
+Platform::fullOptions(size_t sram_bytes)
+{
+    CompilerOptions o;
+    o.sramBytes = sram_bytes;
+    return o;
+}
+
+} // namespace effact

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The EFFACT platform facade: compile a workload with the EFFACT
+ * compiler backend, execute it on the cycle-level simulator, and
+ * report benchmark-level results. Ablation presets reproduce the
+ * incremental design points of Fig. 11.
+ */
+#ifndef EFFACT_PLATFORM_PLATFORM_H
+#define EFFACT_PLATFORM_PLATFORM_H
+
+#include "compiler/pass.h"
+#include "ir/workloads.h"
+#include "sim/machine.h"
+
+namespace effact {
+
+/** Benchmark-level result. */
+struct PlatformResult
+{
+    SimReport sim;            ///< one program instance
+    StatSet compilerStats;
+    double benchTimeMs = 0;   ///< program time x workload repeat factor
+    double amortizedUs = 0;   ///< per-slot amortized time (bootstrapping)
+    double dramGb = 0;        ///< DRAM traffic of the full benchmark
+};
+
+/** Compile-and-simulate driver. */
+class Platform
+{
+  public:
+    Platform(HardwareConfig hw, CompilerOptions copts);
+
+    /** Runs a workload end-to-end (mutates its IR through the passes) */
+    PlatformResult run(Workload &workload) const;
+
+    const HardwareConfig &hardware() const { return hw_; }
+    const CompilerOptions &compilerOptions() const { return copts_; }
+
+    // --- Fig. 11 ablation presets ---------------------------------------
+
+    /** Resource-constrained baseline: no compiler or hardware opts. */
+    static CompilerOptions baselineOptions(size_t sram_bytes);
+
+    /** + MAD-style caching (on-chip reuse) without global scheduling. */
+    static CompilerOptions madEnhancedOptions(size_t sram_bytes);
+
+    /** + EFFACT global scheduling and streaming memory access. */
+    static CompilerOptions streamingOptions(size_t sram_bytes);
+
+    /** Full EFFACT (adds the circuit-level NTT reuse on the hw side). */
+    static CompilerOptions fullOptions(size_t sram_bytes);
+
+  private:
+    HardwareConfig hw_;
+    CompilerOptions copts_;
+};
+
+} // namespace effact
+
+#endif // EFFACT_PLATFORM_PLATFORM_H

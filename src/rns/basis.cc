@@ -1,0 +1,138 @@
+#include "rns/basis.h"
+
+#include "common/logging.h"
+
+namespace effact {
+
+RnsBasis::RnsBasis(size_t n, const std::vector<u64> &primes) : n_(n)
+{
+    EFFACT_ASSERT(!primes.empty(), "empty RNS basis");
+    limbs_.reserve(primes.size());
+    for (u64 q : primes)
+        limbs_.push_back(std::make_shared<LimbContext>(n, q));
+    finalize();
+}
+
+void
+RnsBasis::finalize()
+{
+    const size_t k = limbs_.size();
+    garnerQmod_.assign(k, {});
+    garnerPrefixInv_.assign(k, 1);
+    for (size_t i = 0; i < k; ++i) {
+        const u64 qi = limbs_[i]->q;
+        garnerQmod_[i].resize(i);
+        u64 prefix = 1;
+        for (size_t j = 0; j < i; ++j) {
+            garnerQmod_[i][j] = limbs_[j]->q % qi;
+            prefix = mulMod(prefix, garnerQmod_[i][j], qi);
+        }
+        garnerPrefixInv_[i] = invMod(prefix == 0 ? 1 : prefix, qi);
+        EFFACT_ASSERT(prefix != 0, "duplicate prime in basis");
+    }
+}
+
+std::shared_ptr<RnsBasis>
+RnsBasis::prefix(size_t count) const
+{
+    EFFACT_ASSERT(count >= 1 && count <= limbs_.size(),
+                  "prefix size %zu out of range", count);
+    auto sub = std::shared_ptr<RnsBasis>(new RnsBasis());
+    sub->n_ = n_;
+    sub->limbs_.assign(limbs_.begin(),
+                       limbs_.begin() + static_cast<long>(count));
+    sub->finalize();
+    return sub;
+}
+
+std::shared_ptr<RnsBasis>
+RnsBasis::range(size_t begin, size_t end) const
+{
+    EFFACT_ASSERT(begin < end && end <= limbs_.size(),
+                  "range [%zu, %zu) out of bounds", begin, end);
+    auto sub = std::shared_ptr<RnsBasis>(new RnsBasis());
+    sub->n_ = n_;
+    sub->limbs_.assign(limbs_.begin() + static_cast<long>(begin),
+                       limbs_.begin() + static_cast<long>(end));
+    sub->finalize();
+    return sub;
+}
+
+std::shared_ptr<RnsBasis>
+RnsBasis::concat(const RnsBasis &other) const
+{
+    EFFACT_ASSERT(other.n_ == n_, "degree mismatch in basis concat");
+    auto joined = std::shared_ptr<RnsBasis>(new RnsBasis());
+    joined->n_ = n_;
+    joined->limbs_ = limbs_;
+    joined->limbs_.insert(joined->limbs_.end(), other.limbs_.begin(),
+                          other.limbs_.end());
+    joined->finalize();
+    return joined;
+}
+
+BigInt
+RnsBasis::product() const
+{
+    BigInt p(1);
+    for (const auto &limb : limbs_)
+        p.mulU64(limb->q);
+    return p;
+}
+
+std::vector<u64>
+RnsBasis::primes() const
+{
+    std::vector<u64> ps;
+    ps.reserve(limbs_.size());
+    for (const auto &limb : limbs_)
+        ps.push_back(limb->q);
+    return ps;
+}
+
+BigInt
+RnsBasis::crtReconstruct(const std::vector<u64> &residues) const
+{
+    EFFACT_ASSERT(residues.size() == limbs_.size(),
+                  "residue count mismatch");
+    const size_t k = limbs_.size();
+    // Garner: v_i = (r_i - sum_{j<i} v_j * prod_{m<j} q_m) *
+    //               (q_0..q_{i-1})^-1  (mod q_i)
+    std::vector<u64> v(k);
+    for (size_t i = 0; i < k; ++i) {
+        const u64 qi = limbs_[i]->q;
+        u64 acc = residues[i] % qi;
+        u64 partial = 0;
+        u64 radix = 1;
+        for (size_t j = 0; j < i; ++j) {
+            partial = addMod(partial, mulMod(v[j], radix, qi), qi);
+            radix = mulMod(radix, garnerQmod_[i][j], qi);
+        }
+        acc = subMod(acc, partial, qi);
+        v[i] = mulMod(acc, garnerPrefixInv_[i], qi);
+    }
+    // x = v_0 + v_1 q_0 + v_2 q_0 q_1 + ... (Horner from the top).
+    BigInt x;
+    for (size_t i = k; i-- > 0;) {
+        x.mulU64(limbs_[i]->q);
+        x.addU64(v[i]);
+    }
+    return x;
+}
+
+double
+RnsBasis::crtCenteredDouble(const std::vector<u64> &residues) const
+{
+    BigInt x = crtReconstruct(residues);
+    BigInt q = product();
+    BigInt half = q;
+    half.shiftRight1();
+    if (x.compare(half) > 0) {
+        BigInt neg = q;
+        neg.sub(x);
+        return -neg.toDouble();
+    }
+    return x.toDouble();
+}
+
+} // namespace effact

@@ -1,0 +1,173 @@
+#include "rns/bconv.h"
+
+#include "common/logging.h"
+
+namespace effact {
+
+BaseConverter::BaseConverter(std::shared_ptr<const RnsBasis> from,
+                             std::shared_ptr<const RnsBasis> to)
+    : from_(std::move(from)), to_(std::move(to))
+{
+    EFFACT_ASSERT(from_->degree() == to_->degree(),
+                  "degree mismatch in base conversion");
+    const size_t l = from_->size();
+    const size_t k = to_->size();
+
+    qhatInv_.resize(l);
+    qhatInvNInv_.resize(l);
+    qhatModP_.assign(l, std::vector<u64>(k));
+    qhatModPDm_.assign(l, std::vector<u64>(k));
+
+    qInvReal_.resize(l);
+    qModP_.resize(k);
+    for (size_t i = 0; i < k; ++i) {
+        const u64 pi = to_->prime(i);
+        u64 acc = 1;
+        for (size_t j = 0; j < l; ++j)
+            acc = mulMod(acc, from_->prime(j) % pi, pi);
+        qModP_[i] = acc;
+    }
+
+    for (size_t j = 0; j < l; ++j) {
+        const u64 qj = from_->prime(j);
+        qInvReal_[j] = 1.0L / static_cast<long double>(qj);
+        // qhat_j mod q_j = prod_{j' != j} q_j' mod q_j.
+        u64 qhat_mod_qj = 1;
+        for (size_t j2 = 0; j2 < l; ++j2) {
+            if (j2 != j)
+                qhat_mod_qj = mulMod(qhat_mod_qj, from_->prime(j2) % qj, qj);
+        }
+        qhatInv_[j] = invMod(qhat_mod_qj, qj);
+        const u64 n_inv = from_->limb(j).ntt.nInv();
+        qhatInvNInv_[j] = mulMod(qhatInv_[j], n_inv, qj);
+
+        for (size_t i = 0; i < k; ++i) {
+            const u64 pi = to_->prime(i);
+            u64 qhat_mod_pi = 1;
+            for (size_t j2 = 0; j2 < l; ++j2) {
+                if (j2 != j)
+                    qhat_mod_pi =
+                        mulMod(qhat_mod_pi, from_->prime(j2) % pi, pi);
+            }
+            qhatModP_[j][i] = qhat_mod_pi;
+            qhatModPDm_[j][i] = to_->limb(i).mont.toDoubleMont(qhat_mod_pi);
+        }
+    }
+}
+
+RnsPoly
+BaseConverter::convert(const RnsPoly &a) const
+{
+    EFFACT_ASSERT(a.format() == PolyFormat::Coeff,
+                  "BConv operates coefficient-wise (Coeff format)");
+    EFFACT_ASSERT(a.limbCount() == from_->size(), "basis mismatch");
+    const size_t n = a.degree();
+    const size_t l = from_->size();
+    const size_t k = to_->size();
+
+    // t_j = a_j * qhat_j^-1 mod q_j (one vector MULT per source limb).
+    std::vector<std::vector<u64>> t(l);
+    for (size_t j = 0; j < l; ++j) {
+        const Barrett &br = from_->limb(j).barrett;
+        t[j].resize(n);
+        const auto &src = a.limb(j);
+        for (size_t i = 0; i < n; ++i)
+            t[j][i] = br.mul(src[i], qhatInv_[j]);
+    }
+
+    // out_p = sum_j t_j * (qhat_j mod p) — l MAC passes per target limb.
+    RnsPoly out(to_, PolyFormat::Coeff);
+    for (size_t p = 0; p < k; ++p) {
+        const Barrett &br = to_->limb(p).barrett;
+        const u64 pi = to_->prime(p);
+        auto &dst = out.limb(p);
+        for (size_t j = 0; j < l; ++j) {
+            const u64 c = qhatModP_[j][p];
+            for (size_t i = 0; i < n; ++i)
+                dst[i] = addMod(dst[i], br.mul(t[j][i], c), pi);
+        }
+    }
+    return out;
+}
+
+RnsPoly
+BaseConverter::convertExact(const RnsPoly &a) const
+{
+    EFFACT_ASSERT(a.format() == PolyFormat::Coeff,
+                  "BConv operates coefficient-wise (Coeff format)");
+    EFFACT_ASSERT(a.limbCount() == from_->size(), "basis mismatch");
+    const size_t n = a.degree();
+    const size_t l = from_->size();
+    const size_t k = to_->size();
+
+    std::vector<std::vector<u64>> t(l);
+    std::vector<u64> overflow(n); // e = round(sum v_j / q_j) per coeff
+    std::vector<long double> frac(n, 0.0L);
+    for (size_t j = 0; j < l; ++j) {
+        const Barrett &br = from_->limb(j).barrett;
+        t[j].resize(n);
+        const auto &src = a.limb(j);
+        for (size_t i = 0; i < n; ++i) {
+            t[j][i] = br.mul(src[i], qhatInv_[j]);
+            frac[i] += static_cast<long double>(t[j][i]) * qInvReal_[j];
+        }
+    }
+    for (size_t i = 0; i < n; ++i)
+        overflow[i] = static_cast<u64>(frac[i] + 0.5L);
+
+    RnsPoly out(to_, PolyFormat::Coeff);
+    for (size_t p = 0; p < k; ++p) {
+        const Barrett &br = to_->limb(p).barrett;
+        const u64 pi = to_->prime(p);
+        auto &dst = out.limb(p);
+        for (size_t j = 0; j < l; ++j) {
+            const u64 c = qhatModP_[j][p];
+            for (size_t i = 0; i < n; ++i)
+                dst[i] = addMod(dst[i], br.mul(t[j][i], c), pi);
+        }
+        for (size_t i = 0; i < n; ++i) {
+            u64 corr = mulMod(overflow[i] % pi, qModP_[p], pi);
+            dst[i] = subMod(dst[i], corr, pi);
+        }
+    }
+    return out;
+}
+
+RnsPoly
+BaseConverter::convertMontgomery(const RnsPoly &a_sm, bool scale_n_inv) const
+{
+    EFFACT_ASSERT(a_sm.format() == PolyFormat::Coeff,
+                  "BConv operates coefficient-wise (Coeff format)");
+    EFFACT_ASSERT(a_sm.limbCount() == from_->size(), "basis mismatch");
+    const size_t n = a_sm.degree();
+    const size_t l = from_->size();
+    const size_t k = to_->size();
+
+    // MontMult(SM input, NM constant) -> NM intermediate (Sec. IV-D5).
+    std::vector<std::vector<u64>> t(l);
+    for (size_t j = 0; j < l; ++j) {
+        const Montgomery &mont = from_->limb(j).mont;
+        const u64 c = scale_n_inv ? qhatInvNInv_[j] : qhatInv_[j];
+        t[j].resize(n);
+        const auto &src = a_sm.limb(j);
+        for (size_t i = 0; i < n; ++i)
+            t[j][i] = mont.mul(src[i], c);
+    }
+
+    // MontMult(NM intermediate, DM constant) -> SM output: the DM constant
+    // re-lifts the result into the Montgomery domain for free.
+    RnsPoly out(to_, PolyFormat::Coeff);
+    for (size_t p = 0; p < k; ++p) {
+        const Montgomery &mont = to_->limb(p).mont;
+        const u64 pi = to_->prime(p);
+        auto &dst = out.limb(p);
+        for (size_t j = 0; j < l; ++j) {
+            const u64 c = qhatModPDm_[j][p];
+            for (size_t i = 0; i < n; ++i)
+                dst[i] = addMod(dst[i], mont.mul(t[j][i], c), pi);
+        }
+    }
+    return out;
+}
+
+} // namespace effact

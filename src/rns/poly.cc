@@ -1,0 +1,190 @@
+#include "rns/poly.h"
+
+#include "common/logging.h"
+#include "math/automorphism.h"
+
+namespace effact {
+
+RnsPoly::RnsPoly(std::shared_ptr<const RnsBasis> basis, PolyFormat format)
+    : basis_(std::move(basis)), format_(format)
+{
+    limbs_.assign(basis_->size(), std::vector<u64>(basis_->degree(), 0));
+}
+
+void
+RnsPoly::sampleUniform(Rng &rng)
+{
+    for (size_t j = 0; j < limbs_.size(); ++j) {
+        const u64 q = basis_->prime(j);
+        for (auto &c : limbs_[j])
+            c = rng.uniform(q);
+    }
+}
+
+void
+RnsPoly::setFromSigned(const std::vector<i64> &coeffs)
+{
+    EFFACT_ASSERT(coeffs.size() == degree(), "coefficient count mismatch");
+    format_ = PolyFormat::Coeff;
+    for (size_t j = 0; j < limbs_.size(); ++j) {
+        const u64 q = basis_->prime(j);
+        for (size_t i = 0; i < coeffs.size(); ++i)
+            limbs_[j][i] = reduceSigned(coeffs[i], q);
+    }
+}
+
+void
+RnsPoly::addInPlace(const RnsPoly &other)
+{
+    EFFACT_ASSERT(format_ == other.format_ &&
+                      limbs_.size() == other.limbs_.size(),
+                  "operand mismatch in poly add");
+    for (size_t j = 0; j < limbs_.size(); ++j) {
+        const u64 q = basis_->prime(j);
+        const auto &rhs = other.limbs_[j];
+        auto &lhs = limbs_[j];
+        for (size_t i = 0; i < lhs.size(); ++i)
+            lhs[i] = addMod(lhs[i], rhs[i], q);
+    }
+}
+
+void
+RnsPoly::subInPlace(const RnsPoly &other)
+{
+    EFFACT_ASSERT(format_ == other.format_ &&
+                      limbs_.size() == other.limbs_.size(),
+                  "operand mismatch in poly sub");
+    for (size_t j = 0; j < limbs_.size(); ++j) {
+        const u64 q = basis_->prime(j);
+        const auto &rhs = other.limbs_[j];
+        auto &lhs = limbs_[j];
+        for (size_t i = 0; i < lhs.size(); ++i)
+            lhs[i] = subMod(lhs[i], rhs[i], q);
+    }
+}
+
+void
+RnsPoly::negInPlace()
+{
+    for (size_t j = 0; j < limbs_.size(); ++j) {
+        const u64 q = basis_->prime(j);
+        for (auto &c : limbs_[j])
+            c = negMod(c, q);
+    }
+}
+
+void
+RnsPoly::mulEvalInPlace(const RnsPoly &other)
+{
+    EFFACT_ASSERT(format_ == PolyFormat::Eval &&
+                      other.format_ == PolyFormat::Eval,
+                  "pointwise mul requires Eval format");
+    EFFACT_ASSERT(limbs_.size() == other.limbs_.size(),
+                  "operand mismatch in poly mul");
+    for (size_t j = 0; j < limbs_.size(); ++j) {
+        const Barrett &br = basis_->limb(j).barrett;
+        const auto &rhs = other.limbs_[j];
+        auto &lhs = limbs_[j];
+        for (size_t i = 0; i < lhs.size(); ++i)
+            lhs[i] = br.mul(lhs[i], rhs[i]);
+    }
+}
+
+void
+RnsPoly::mulScalarPerLimb(const std::vector<u64> &scalars)
+{
+    EFFACT_ASSERT(scalars.size() == limbs_.size(), "scalar count mismatch");
+    for (size_t j = 0; j < limbs_.size(); ++j) {
+        const Barrett &br = basis_->limb(j).barrett;
+        const u64 s = scalars[j];
+        for (auto &c : limbs_[j])
+            c = br.mul(c, s);
+    }
+}
+
+void
+RnsPoly::mulScalarU64(u64 s)
+{
+    for (size_t j = 0; j < limbs_.size(); ++j) {
+        const Barrett &br = basis_->limb(j).barrett;
+        const u64 sj = s % basis_->prime(j);
+        for (auto &c : limbs_[j])
+            c = br.mul(c, sj);
+    }
+}
+
+void
+RnsPoly::toEval()
+{
+    if (format_ == PolyFormat::Eval)
+        return;
+    for (size_t j = 0; j < limbs_.size(); ++j)
+        basis_->limb(j).ntt.forward(limbs_[j].data());
+    format_ = PolyFormat::Eval;
+}
+
+void
+RnsPoly::toCoeff()
+{
+    if (format_ == PolyFormat::Coeff)
+        return;
+    for (size_t j = 0; j < limbs_.size(); ++j)
+        basis_->limb(j).ntt.backward(limbs_[j].data());
+    format_ = PolyFormat::Coeff;
+}
+
+RnsPoly
+RnsPoly::automorph(u64 t) const
+{
+    RnsPoly out(basis_, format_);
+    if (format_ == PolyFormat::Coeff) {
+        for (size_t j = 0; j < limbs_.size(); ++j) {
+            applyAutoCoeff(limbs_[j].data(), out.limbs_[j].data(), degree(),
+                           t, basis_->prime(j));
+        }
+    } else {
+        AutoPermutation perm(degree(), t);
+        for (size_t j = 0; j < limbs_.size(); ++j)
+            perm.apply(limbs_[j].data(), out.limbs_[j].data());
+    }
+    return out;
+}
+
+RnsPoly
+RnsPoly::prefixLimbs(size_t count) const
+{
+    RnsPoly out(basis_->prefix(count), format_);
+    for (size_t j = 0; j < count; ++j)
+        out.limbs_[j] = limbs_[j];
+    return out;
+}
+
+RnsPoly
+RnsPoly::gather(const RnsPoly &src, std::shared_ptr<const RnsBasis> basis,
+                const std::vector<size_t> &limb_idx)
+{
+    EFFACT_ASSERT(basis->size() == limb_idx.size(),
+                  "gather: index count does not match basis size");
+    RnsPoly out(basis, src.format());
+    for (size_t i = 0; i < limb_idx.size(); ++i) {
+        EFFACT_ASSERT(limb_idx[i] < src.limbCount(),
+                      "gather: limb index out of range");
+        EFFACT_ASSERT(basis->prime(i) ==
+                          src.basis().prime(limb_idx[i]),
+                      "gather: prime mismatch at position %zu", i);
+        out.limbs_[i] = src.limbs_[limb_idx[i]];
+    }
+    return out;
+}
+
+bool
+RnsPoly::isZero() const
+{
+    for (const auto &limb : limbs_)
+        for (u64 c : limb)
+            if (c != 0)
+                return false;
+    return true;
+}
+
+} // namespace effact

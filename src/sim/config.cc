@@ -1,0 +1,66 @@
+#include "sim/config.h"
+
+namespace effact {
+
+HardwareConfig
+HardwareConfig::asicEffact27()
+{
+    return HardwareConfig{};
+}
+
+HardwareConfig
+HardwareConfig::asicEffact54()
+{
+    HardwareConfig c;
+    c.name = "EFFACT-54";
+    c.sramBytes = size_t(54) << 20;
+    c.nttUnits = 4;
+    c.mulUnits = 4;
+    c.addUnits = 6;
+    c.autoUnits = 2;
+    return c;
+}
+
+HardwareConfig
+HardwareConfig::asicEffact108()
+{
+    HardwareConfig c;
+    c.name = "EFFACT-108";
+    c.sramBytes = size_t(108) << 20;
+    c.nttUnits = 8;
+    c.mulUnits = 8;
+    c.addUnits = 12;
+    c.autoUnits = 4;
+    return c;
+}
+
+HardwareConfig
+HardwareConfig::asicEffact162()
+{
+    HardwareConfig c;
+    c.name = "EFFACT-162";
+    c.sramBytes = size_t(162) << 20;
+    c.nttUnits = 12;
+    c.mulUnits = 12;
+    c.addUnits = 18;
+    c.autoUnits = 6;
+    return c;
+}
+
+HardwareConfig
+HardwareConfig::fpgaEffact()
+{
+    HardwareConfig c;
+    c.name = "FPGA-EFFACT";
+    c.lanes = 256;
+    c.freqGhz = 0.3;
+    c.sramBytes = (size_t(76) << 20) / 10; // 7.6 MB
+    c.hbmBytesPerSec = 460e9;
+    c.nttUnits = 1;
+    c.mulUnits = 1;
+    c.addUnits = 2;
+    c.autoUnits = 1;
+    return c;
+}
+
+} // namespace effact

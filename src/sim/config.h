@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Hardware configuration of the simulated EFFACT accelerator
+ * (Sec. IV-D / Sec. V-C) with presets for ASIC-EFFACT (27 MB / 1024
+ * lanes / 1.2 TB/s / 500 MHz), FPGA-EFFACT (7.6 MB / 256 lanes /
+ * 460 GB/s / 300 MHz) and the scaled EFFACT-54/108/162 design points
+ * (Sec. VI-C).
+ */
+#ifndef EFFACT_SIM_CONFIG_H
+#define EFFACT_SIM_CONFIG_H
+
+#include <cstddef>
+#include <string>
+
+namespace effact {
+
+/** Simulated machine description. */
+struct HardwareConfig
+{
+    std::string name = "ASIC-EFFACT";
+    size_t lanes = 1024;        ///< vector lanes (coefficients/cycle/FU)
+    double freqGhz = 0.5;       ///< clock frequency
+    size_t sramBytes = size_t(27) << 20; ///< on-chip SRAM capacity
+    double hbmBytesPerSec = 1.2e12;      ///< off-chip bandwidth
+
+    // Function-unit counts (each `lanes` wide).
+    size_t nttUnits = 2;
+    size_t mulUnits = 2;
+    size_t addUnits = 3;
+    size_t autoUnits = 1;
+
+    /** Circuit-level NTT<->MAC reuse (Sec. III-2 / IV-D3). */
+    bool nttMacReuse = true;
+
+    /** OoO scoreboard window (1 = strict in-order issue). */
+    size_t issueWindow = 64;
+
+    /** Total modular multipliers (for Table VII reporting). */
+    size_t multipliers() const { return (nttUnits + mulUnits) * lanes; }
+
+    /** HBM bytes per cycle. */
+    double
+    hbmBytesPerCycle() const
+    {
+        return hbmBytesPerSec / (freqGhz * 1e9);
+    }
+
+    // --- Presets ---------------------------------------------------------
+    static HardwareConfig asicEffact27();
+    static HardwareConfig asicEffact54();
+    static HardwareConfig asicEffact108();
+    static HardwareConfig asicEffact162();
+    static HardwareConfig fpgaEffact();
+};
+
+} // namespace effact
+
+#endif // EFFACT_SIM_CONFIG_H

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Automorphism tests: coefficient-domain index map, Galois elements, and
+ * the NTT-domain permutation identity NTT(sigma_t(a)) == perm_t(NTT(a))
+ * (Eq. 2, third identity).
+ */
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "math/automorphism.h"
+#include "math/ntt.h"
+#include "math/primes.h"
+
+namespace effact {
+namespace {
+
+TEST(Automorphism, GaloisElements)
+{
+    const size_t n = 1 << 10;
+    EXPECT_EQ(galoisElt(0, n), 1u);
+    EXPECT_EQ(galoisElt(1, n), 5u);
+    EXPECT_EQ(galoisElt(2, n), 25u);
+    // Negative steps wrap around the order-N/2 cycle.
+    EXPECT_EQ(galoisElt(-1, n), powMod(5, n / 2 - 1, 2 * n));
+    EXPECT_EQ(galoisEltConjugate(n), 2 * n - 1);
+}
+
+TEST(Automorphism, IdentityElementIsNoOp)
+{
+    const size_t n = 64;
+    const u64 q = genNttPrimes(1, 40, n)[0];
+    Rng rng(20);
+    std::vector<u64> a(n), out(n);
+    for (auto &c : a)
+        c = rng.uniform(q);
+    applyAutoCoeff(a.data(), out.data(), n, 1, q);
+    EXPECT_EQ(a, out);
+}
+
+TEST(Automorphism, CoeffMapSignWrap)
+{
+    // For a(X) = X, sigma_t(a) = X^t; with t >= N the result wraps with
+    // sign: X^(2N-1) = -X^(N-1) * ... check a concrete small case.
+    const size_t n = 8;
+    const u64 q = 17;
+    std::vector<u64> a(n, 0), out(n, 0);
+    a[1] = 1; // a = X
+    applyAutoCoeff(a.data(), out.data(), n, 15, q); // X -> X^15 = -X^7
+    EXPECT_EQ(out[7], q - 1);
+    for (size_t i = 0; i < 7; ++i)
+        EXPECT_EQ(out[i], 0u);
+}
+
+TEST(Automorphism, ComposesLikeGroup)
+{
+    const size_t n = 128;
+    const u64 q = genNttPrimes(1, 40, n)[0];
+    Rng rng(21);
+    std::vector<u64> a(n);
+    for (auto &c : a)
+        c = rng.uniform(q);
+    const u64 t1 = galoisElt(3, n);
+    const u64 t2 = galoisElt(5, n);
+    std::vector<u64> s1(n), s12(n), direct(n);
+    applyAutoCoeff(a.data(), s1.data(), n, t1, q);
+    applyAutoCoeff(s1.data(), s12.data(), n, t2, q);
+    // sigma_t2(sigma_t1(a)) = sigma_{t1*t2 mod 2N}(a)
+    applyAutoCoeff(a.data(), direct.data(), n, (t1 * t2) % (2 * n), q);
+    EXPECT_EQ(s12, direct);
+}
+
+class AutoEvalDomain : public ::testing::TestWithParam<int> {};
+
+TEST_P(AutoEvalDomain, NttDomainPermutationMatchesCoeffDomain)
+{
+    const int steps = GetParam();
+    const size_t n = 256;
+    const u64 q = genNttPrimes(1, 45, n)[0];
+    Ntt ntt(n, q);
+    Rng rng(22 + steps);
+    std::vector<u64> a(n);
+    for (auto &c : a)
+        c = rng.uniform(q);
+    const u64 t = galoisElt(steps, n);
+
+    // Path 1: automorphism in coefficient domain, then NTT.
+    std::vector<u64> path1(n);
+    applyAutoCoeff(a.data(), path1.data(), n, t, q);
+    ntt.forward(path1);
+
+    // Path 2: NTT, then eval-domain permutation.
+    std::vector<u64> freq = a;
+    ntt.forward(freq);
+    std::vector<u64> path2(n);
+    AutoPermutation perm(n, t);
+    perm.apply(freq.data(), path2.data());
+
+    EXPECT_EQ(path1, path2) << "steps=" << steps;
+}
+
+INSTANTIATE_TEST_SUITE_P(Steps, AutoEvalDomain,
+                         ::testing::Values(0, 1, 2, 3, 7, 31, -1, -5));
+
+TEST(Automorphism, ConjugationInEvalDomain)
+{
+    const size_t n = 128;
+    const u64 q = genNttPrimes(1, 40, n)[0];
+    Ntt ntt(n, q);
+    Rng rng(23);
+    std::vector<u64> a(n);
+    for (auto &c : a)
+        c = rng.uniform(q);
+    const u64 t = galoisEltConjugate(n);
+
+    std::vector<u64> path1(n);
+    applyAutoCoeff(a.data(), path1.data(), n, t, q);
+    ntt.forward(path1);
+
+    std::vector<u64> freq = a;
+    ntt.forward(freq);
+    std::vector<u64> path2(n);
+    AutoPermutation perm(n, t);
+    perm.apply(freq.data(), path2.data());
+
+    EXPECT_EQ(path1, path2);
+}
+
+TEST(Automorphism, PermutationIsBijective)
+{
+    const size_t n = 512;
+    AutoPermutation perm(n, galoisElt(9, n));
+    std::vector<bool> seen(n, false);
+    for (size_t j = 0; j < n; ++j) {
+        size_t s = perm.source(j);
+        ASSERT_LT(s, n);
+        EXPECT_FALSE(seen[s]);
+        seen[s] = true;
+    }
+}
+
+} // namespace
+} // namespace effact

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Unit tests for the minimal BigInt used in CRT reconstruction.
+ */
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "math/bigint.h"
+
+namespace effact {
+namespace {
+
+TEST(BigInt, ZeroAndSmall)
+{
+    BigInt z;
+    EXPECT_TRUE(z.isZero());
+    EXPECT_EQ(z.toString(), "0");
+    EXPECT_EQ(z.modU64(7), 0u);
+
+    BigInt a(42);
+    EXPECT_FALSE(a.isZero());
+    EXPECT_EQ(a.toString(), "42");
+    EXPECT_EQ(a.modU64(5), 2u);
+}
+
+TEST(BigInt, AddCarryPropagation)
+{
+    BigInt a(~0ULL);
+    a.addU64(1);
+    // 2^64 needs two words.
+    EXPECT_EQ(a.words().size(), 2u);
+    EXPECT_EQ(a.modU64(1000000007ULL), (1ULL << 63) % 1000000007ULL * 2 %
+                                           1000000007ULL);
+}
+
+TEST(BigInt, MulU64GrowsWords)
+{
+    BigInt a(1);
+    for (int i = 0; i < 10; ++i)
+        a.mulU64(1ULL << 60); // a = 2^600
+    EXPECT_EQ(a.words().size(), 10u); // 600/64 = 9.375 -> 10 words
+    EXPECT_DOUBLE_EQ(a.toDouble(), 0x1.0p600);
+}
+
+TEST(BigInt, SubAndCompare)
+{
+    BigInt a(1000), b(1);
+    EXPECT_GT(a.compare(b), 0);
+    a.sub(b);
+    EXPECT_EQ(a.toString(), "999");
+    BigInt c(999);
+    EXPECT_EQ(a.compare(c), 0);
+    a.sub(c);
+    EXPECT_TRUE(a.isZero());
+}
+
+TEST(BigInt, ShiftRight)
+{
+    BigInt a(1);
+    a.mulU64(1ULL << 63);
+    a.mulU64(4); // a = 2^65
+    a.shiftRight1();
+    BigInt expect(1);
+    expect.mulU64(1ULL << 63);
+    expect.mulU64(2);
+    EXPECT_EQ(a.compare(expect), 0);
+}
+
+TEST(BigInt, ModAgainstKnownProduct)
+{
+    // (2^61 - 1) * 12345 mod 97, computed independently.
+    BigInt a((1ULL << 61) - 1);
+    a.mulU64(12345);
+    u64 expect = mulMod(((1ULL << 61) - 1) % 97, 12345 % 97, 97);
+    EXPECT_EQ(a.modU64(97), expect);
+}
+
+TEST(BigInt, DecimalStringKnownValue)
+{
+    BigInt a(1);
+    for (int i = 0; i < 2; ++i)
+        a.mulU64(10000000000ULL);
+    EXPECT_EQ(a.toString(), "100000000000000000000");
+}
+
+TEST(BigInt, RandomizedAddSubRoundTrip)
+{
+    Rng rng(7);
+    for (int iter = 0; iter < 100; ++iter) {
+        BigInt a(rng.next());
+        a.mulU64(rng.next() | 1);
+        BigInt b(rng.next());
+        BigInt sum = a;
+        sum.add(b);
+        sum.sub(b);
+        EXPECT_EQ(sum.compare(a), 0);
+    }
+}
+
+} // namespace
+} // namespace effact

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Bootstrapping tests: Chebyshev BSGS evaluation, CtS/StC inverse
+ * round-trip, and the full fully-packed pipeline refreshing a level-1
+ * ciphertext (Sec. V-A).
+ */
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "ckks/bootstrap.h"
+#include "ckks/encryptor.h"
+
+namespace effact {
+namespace {
+
+CkksParams
+bootParams()
+{
+    CkksParams p;
+    p.logN = 8;
+    p.levels = 16;
+    // A wider scale (2^45) keeps the EvalMod noise floor low, and the
+    // sparse secret (h=16) keeps the ModRaise overflow range small —
+    // both standard bootstrapping practice.
+    p.logScale = 45;
+    p.logQ0 = 54;
+    p.dnum = 4;
+    p.hammingWeight = 16;
+    return p;
+}
+
+BootstrapConfig
+bootConfig()
+{
+    BootstrapConfig c;
+    c.kRange = 8.0;
+    c.sineDegree = 159;
+    c.babySteps = 16;
+    return c;
+}
+
+class BootstrapFixture : public ::testing::Test
+{
+  protected:
+    BootstrapFixture()
+        : ctx(bootParams()), encoder(ctx), rng(1234), keygen(ctx, rng),
+          sk(keygen.genSecretKey()), relin(keygen.genRelinKey(sk)),
+          enc(ctx, sk, rng)
+    {
+        // Bootstrapping needs every rotation its transforms touch, plus
+        // conjugation.
+        CkksEvaluator probe(ctx, encoder, &relin, nullptr);
+        Bootstrapper probe_boot(ctx, encoder, probe, bootConfig());
+        galois = keygen.genGaloisKeys(sk, probe_boot.requiredRotations(),
+                                      /*conjugate=*/true);
+        eval = std::make_unique<CkksEvaluator>(ctx, encoder, &relin,
+                                               &galois);
+        boot = std::make_unique<Bootstrapper>(ctx, encoder, *eval, bootConfig());
+    }
+
+    CkksContext ctx;
+    CkksEncoder encoder;
+    Rng rng;
+    KeyGenerator keygen;
+    SecretKey sk;
+    SwitchingKey relin;
+    GaloisKeys galois;
+    CkksEncryptor enc;
+    std::unique_ptr<CkksEvaluator> eval;
+    std::unique_ptr<Bootstrapper> boot;
+};
+
+TEST_F(BootstrapFixture, ChebyshevEvalMatchesClenshaw)
+{
+    // Evaluate an arbitrary smooth function homomorphically on values in
+    // [-1, 1] and compare with the double-precision Clenshaw reference.
+    auto f = [](double x) { return std::exp(-x * x) * std::cos(3 * x); };
+    auto series = ChebyshevSeries::fit(f, -1.0, 1.0, 63);
+
+    const size_t slots = ctx.slots();
+    std::vector<cplx> xs(slots);
+    for (size_t i = 0; i < slots; ++i)
+        xs[i] = cplx(-1.0 + 2.0 * double(i) / double(slots - 1), 0.0);
+
+    Ciphertext ct = enc.encrypt(encoder.encode(xs, ctx.scale(),
+                                               ctx.levels()));
+    Ciphertext out = boot->evalChebyshev(series, ct);
+    auto got = encoder.decode(enc.decrypt(out), slots);
+    for (size_t i = 0; i < slots; ++i)
+        EXPECT_NEAR(got[i].real(), series.eval(xs[i].real()), 1e-4)
+            << "slot " << i;
+}
+
+TEST_F(BootstrapFixture, CtsThenStcIsIdentity)
+{
+    // StC ∘ (lo, hi) ∘ CtS is the identity linear map; run it on a
+    // mod-raised ciphertext and compare decoded slots before/after.
+    const size_t slots = ctx.slots();
+    std::vector<cplx> msg(slots);
+    for (size_t i = 0; i < slots; ++i)
+        msg[i] = cplx(0.3 * std::cos(0.1 * double(i)),
+                      0.2 * std::sin(0.2 * double(i)));
+    Ciphertext ct = enc.encrypt(encoder.encode(msg, ctx.scale(),
+                                               ctx.levels()));
+    auto [lo, hi] = boot->coeffToSlot(ct);
+    Ciphertext back = boot->slotToCoeff(lo, hi);
+    auto got = encoder.decode(enc.decrypt(back), slots);
+    for (size_t i = 0; i < slots; ++i)
+        EXPECT_LT(std::abs(got[i] - msg[i]), 1e-3) << "slot " << i;
+}
+
+TEST_F(BootstrapFixture, ModRaisePreservesMessageModQ0)
+{
+    // After ModRaise the plaintext is m + q0*I: reducing the decrypted
+    // coefficients mod q0 must recover the original message.
+    const size_t slots = ctx.slots();
+    std::vector<cplx> msg(slots);
+    for (size_t i = 0; i < slots; ++i)
+        msg[i] = cplx(0.25 * std::sin(double(i)), 0.0);
+    Ciphertext ct = enc.encrypt(encoder.encode(msg, ctx.scale(), 1));
+    Ciphertext raised = boot->modRaise(ct);
+    EXPECT_EQ(raised.level(), ctx.levels());
+    EXPECT_DOUBLE_EQ(raised.scale, ct.scale);
+
+    Plaintext dec = enc.decrypt(raised);
+    RnsPoly poly = dec.poly;
+    poly.toCoeff();
+    // Reduce every coefficient mod q0 (centered) and decode on 1 limb.
+    Plaintext folded;
+    folded.scale = dec.scale;
+    folded.poly = RnsPoly(ctx.qBasisAt(1), PolyFormat::Coeff);
+    const u64 q0 = ctx.qBasis()->prime(0);
+    for (size_t i = 0; i < ctx.degree(); ++i)
+        folded.poly.limb(0)[i] = poly.limb(0)[i] % q0;
+    auto got = encoder.decode(folded, slots);
+    for (size_t i = 0; i < slots; ++i)
+        EXPECT_LT(std::abs(got[i] - msg[i]), 1e-4) << "slot " << i;
+}
+
+TEST_F(BootstrapFixture, FullPipelineRefreshesCiphertext)
+{
+    const size_t slots = ctx.slots();
+    std::vector<cplx> msg(slots);
+    for (size_t i = 0; i < slots; ++i)
+        msg[i] = cplx(0.4 * std::cos(0.3 * double(i)),
+                      0.3 * std::sin(0.15 * double(i)));
+
+    Ciphertext ct = enc.encrypt(encoder.encode(msg, ctx.scale(), 1));
+    ASSERT_EQ(ct.level(), 1u);
+
+    Ciphertext refreshed = boot->bootstrap(ct);
+    EXPECT_GT(refreshed.level(), 2u)
+        << "bootstrapping must leave usable levels";
+
+    auto got = encoder.decode(enc.decrypt(refreshed), slots);
+    double err = 0;
+    for (size_t i = 0; i < slots; ++i)
+        err = std::max(err, std::abs(got[i] - msg[i]));
+    EXPECT_LT(err, 1e-2) << "bootstrapping precision too low";
+}
+
+TEST_F(BootstrapFixture, RefreshedCiphertextSupportsFurtherOps)
+{
+    const size_t slots = ctx.slots();
+    std::vector<cplx> msg(slots, cplx(0.5, 0.0));
+    Ciphertext ct = enc.encrypt(encoder.encode(msg, ctx.scale(), 1));
+    Ciphertext refreshed = boot->bootstrap(ct);
+    // Square the refreshed ciphertext: 0.25 expected.
+    Ciphertext sq = eval->rescale(eval->mult(refreshed, refreshed));
+    auto got = encoder.decode(enc.decrypt(sq), slots);
+    for (size_t i = 0; i < slots; ++i)
+        EXPECT_NEAR(got[i].real(), 0.25, 2e-2);
+}
+
+TEST_F(BootstrapFixture, SineSeriesApproximatesModulo)
+{
+    // Spot-check the fitted series against x mod q' on in-range inputs.
+    const double q_prime =
+        double(ctx.qBasis()->prime(0)) / ctx.scale();
+    const auto &s = boot->sineSeries();
+    const int k_max = static_cast<int>(bootConfig().kRange);
+    for (int mult = -k_max; mult <= k_max; mult += 2) {
+        for (double eps : {-0.3, 0.0, 0.2}) {
+            double x = mult * q_prime + eps;
+            EXPECT_NEAR(s.eval(x), q_prime / (2 * M_PI) *
+                                       std::sin(2 * M_PI * eps / q_prime),
+                        1e-6);
+        }
+    }
+}
+
+} // namespace
+} // namespace effact

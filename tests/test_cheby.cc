@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Chebyshev approximation tests, anchored to the EvalMod use-case:
+ * approximating the scaled sine on the ModRaise interval.
+ */
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "math/cheby.h"
+
+namespace effact {
+namespace {
+
+TEST(Cheby, ExactOnLowDegreePolynomials)
+{
+    // Degree-3 fit reproduces a cubic to machine precision.
+    auto f = [](double x) { return 2.0 * x * x * x - x + 0.5; };
+    auto s = ChebyshevSeries::fit(f, -2.0, 3.0, 3);
+    for (double x = -2.0; x <= 3.0; x += 0.1)
+        EXPECT_NEAR(s.eval(x), f(x), 1e-12);
+}
+
+TEST(Cheby, SineApproximationConverges)
+{
+    auto f = [](double x) { return std::sin(x); };
+    double prev_err = 1e9;
+    for (size_t deg : {7, 15, 23, 31}) {
+        auto s = ChebyshevSeries::fit(f, -M_PI, M_PI, deg);
+        double err = 0.0;
+        for (double x = -M_PI; x <= M_PI; x += 0.01)
+            err = std::max(err, std::fabs(s.eval(x) - f(x)));
+        EXPECT_LT(err, prev_err);
+        prev_err = err;
+    }
+    EXPECT_LT(prev_err, 1e-10);
+}
+
+TEST(Cheby, EvalModShapedTarget)
+{
+    // EvalMod approximates q/(2*pi) * sin(2*pi*x/q) for |x| <= K*q with
+    // x near multiples of q; the fit quality near x=0 bounds the
+    // bootstrapping precision.
+    const double q = 1024.0;
+    const double k_range = 12.0;
+    auto f = [&](double x) { return q / (2 * M_PI) * std::sin(2 * M_PI * x / q); };
+    // Rule of thumb: degree must exceed the argument span in radians
+    // (2*pi*K ~ 75 here) with margin for the error floor.
+    auto s = ChebyshevSeries::fit(f, -k_range * q, k_range * q, 127);
+    // Near integer multiples m*q + eps the function approximates eps.
+    for (int m = -11; m <= 11; ++m) {
+        for (double eps : {-30.0, -5.0, 0.0, 5.0, 30.0}) {
+            double x = m * q + eps;
+            double target = q / (2 * M_PI) * std::sin(2 * M_PI * eps / q);
+            EXPECT_NEAR(s.eval(x), target, 0.05) << "m=" << m;
+        }
+    }
+}
+
+TEST(Cheby, NormalizeMapsEndpoints)
+{
+    auto s = ChebyshevSeries::fit([](double x) { return x; }, 2.0, 10.0, 1);
+    EXPECT_DOUBLE_EQ(s.normalize(2.0), -1.0);
+    EXPECT_DOUBLE_EQ(s.normalize(10.0), 1.0);
+    EXPECT_DOUBLE_EQ(s.normalize(6.0), 0.0);
+}
+
+TEST(Cheby, DegreeAccessor)
+{
+    auto s = ChebyshevSeries::fit([](double x) { return x; }, -1, 1, 15);
+    EXPECT_EQ(s.degree(), 15u);
+    EXPECT_EQ(s.coeffs().size(), 16u);
+}
+
+} // namespace
+} // namespace effact

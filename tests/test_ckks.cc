@@ -1,0 +1,271 @@
+/**
+ * @file
+ * End-to-end CKKS correctness: encode/decode round trips, encryption,
+ * HADD/HMULT/rescale, key switching, rotation and conjugation. This is
+ * the repo's stand-in for the paper's Lattigo cross-validation — every
+ * homomorphic result is checked against plaintext reference computation.
+ */
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "ckks/encryptor.h"
+#include "ckks/evaluator.h"
+
+namespace effact {
+namespace {
+
+CkksParams
+testParams()
+{
+    CkksParams p;
+    p.logN = 10;
+    p.levels = 6;
+    p.logScale = 40;
+    p.logQ0 = 54;
+    p.dnum = 3;
+    p.hammingWeight = 32;
+    return p;
+}
+
+std::vector<cplx>
+randomMessage(Rng &rng, size_t slots, double mag = 1.0)
+{
+    std::vector<cplx> msg(slots);
+    for (auto &v : msg)
+        v = cplx((rng.uniformReal() * 2 - 1) * mag,
+                 (rng.uniformReal() * 2 - 1) * mag);
+    return msg;
+}
+
+double
+maxErr(const std::vector<cplx> &a, const std::vector<cplx> &b)
+{
+    double err = 0.0;
+    for (size_t i = 0; i < a.size(); ++i)
+        err = std::max(err, std::abs(a[i] - b[i]));
+    return err;
+}
+
+class CkksFixture : public ::testing::Test
+{
+  protected:
+    CkksFixture()
+        : ctx(testParams()), encoder(ctx), rng(42), keygen(ctx, rng),
+          sk(keygen.genSecretKey()), relin(keygen.genRelinKey(sk)),
+          galois(keygen.genGaloisKeys(sk, {1, 2, 3, -1, 4}, true)),
+          enc(ctx, sk, rng), eval(ctx, encoder, &relin, &galois)
+    {}
+
+    CkksContext ctx;
+    CkksEncoder encoder;
+    Rng rng;
+    KeyGenerator keygen;
+    SecretKey sk;
+    SwitchingKey relin;
+    GaloisKeys galois;
+    CkksEncryptor enc;
+    CkksEvaluator eval;
+};
+
+TEST_F(CkksFixture, EncodeDecodeRoundTrip)
+{
+    for (size_t slots : {size_t(1), size_t(8), ctx.slots()}) {
+        auto msg = randomMessage(rng, slots);
+        Plaintext pt = encoder.encode(msg, ctx.scale(), ctx.levels());
+        auto out = encoder.decode(pt, slots);
+        EXPECT_LT(maxErr(msg, out), 1e-7) << "slots=" << slots;
+    }
+}
+
+TEST_F(CkksFixture, EncodeIsAdditive)
+{
+    auto a = randomMessage(rng, 16);
+    auto b = randomMessage(rng, 16);
+    Plaintext pa = encoder.encode(a, ctx.scale(), 2);
+    Plaintext pb = encoder.encode(b, ctx.scale(), 2);
+    pa.poly.addInPlace(pb.poly);
+    auto out = encoder.decode(pa, 16);
+    for (size_t i = 0; i < 16; ++i)
+        EXPECT_LT(std::abs(out[i] - (a[i] + b[i])), 1e-6);
+}
+
+TEST_F(CkksFixture, EncryptDecryptRoundTrip)
+{
+    auto msg = randomMessage(rng, ctx.slots());
+    Plaintext pt = encoder.encode(msg, ctx.scale(), ctx.levels());
+    Ciphertext ct = enc.encrypt(pt);
+    auto out = encoder.decode(enc.decrypt(ct), ctx.slots());
+    EXPECT_LT(maxErr(msg, out), 1e-5);
+}
+
+TEST_F(CkksFixture, HomomorphicAddition)
+{
+    auto a = randomMessage(rng, 64);
+    auto b = randomMessage(rng, 64);
+    Ciphertext ca = enc.encrypt(encoder.encode(a, ctx.scale(), 4));
+    Ciphertext cb = enc.encrypt(encoder.encode(b, ctx.scale(), 4));
+    Ciphertext sum = eval.add(ca, cb);
+    auto out = encoder.decode(enc.decrypt(sum), 64);
+    for (size_t i = 0; i < 64; ++i)
+        EXPECT_LT(std::abs(out[i] - (a[i] + b[i])), 1e-5);
+}
+
+TEST_F(CkksFixture, HomomorphicSubtractionAndNegate)
+{
+    auto a = randomMessage(rng, 32);
+    auto b = randomMessage(rng, 32);
+    Ciphertext ca = enc.encrypt(encoder.encode(a, ctx.scale(), 3));
+    Ciphertext cb = enc.encrypt(encoder.encode(b, ctx.scale(), 3));
+    auto out = encoder.decode(enc.decrypt(eval.sub(ca, cb)), 32);
+    for (size_t i = 0; i < 32; ++i)
+        EXPECT_LT(std::abs(out[i] - (a[i] - b[i])), 1e-5);
+}
+
+TEST_F(CkksFixture, AddPlainAndConst)
+{
+    auto a = randomMessage(rng, 16);
+    Ciphertext ca = enc.encrypt(encoder.encode(a, ctx.scale(), 2));
+    Ciphertext shifted = eval.addConst(ca, cplx(2.5, -1.0));
+    auto out = encoder.decode(enc.decrypt(shifted), 16);
+    for (size_t i = 0; i < 16; ++i)
+        EXPECT_LT(std::abs(out[i] - (a[i] + cplx(2.5, -1.0))), 1e-5);
+}
+
+TEST_F(CkksFixture, MultPlainWithRescale)
+{
+    auto a = randomMessage(rng, 32);
+    auto b = randomMessage(rng, 32);
+    Ciphertext ca = enc.encrypt(encoder.encode(a, ctx.scale(), 3));
+    Plaintext pb = encoder.encode(b, ctx.scale(), 3);
+    Ciphertext prod = eval.rescale(eval.multPlain(ca, pb));
+    auto out = encoder.decode(enc.decrypt(prod), 32);
+    for (size_t i = 0; i < 32; ++i)
+        EXPECT_LT(std::abs(out[i] - a[i] * b[i]), 1e-4);
+}
+
+TEST_F(CkksFixture, HomomorphicMultiplication)
+{
+    auto a = randomMessage(rng, ctx.slots());
+    auto b = randomMessage(rng, ctx.slots());
+    Ciphertext ca = enc.encrypt(encoder.encode(a, ctx.scale(),
+                                               ctx.levels()));
+    Ciphertext cb = enc.encrypt(encoder.encode(b, ctx.scale(),
+                                               ctx.levels()));
+    Ciphertext prod = eval.rescale(eval.mult(ca, cb));
+    auto out = encoder.decode(enc.decrypt(prod), ctx.slots());
+    double err = 0;
+    for (size_t i = 0; i < ctx.slots(); ++i)
+        err = std::max(err, std::abs(out[i] - a[i] * b[i]));
+    EXPECT_LT(err, 1e-3);
+}
+
+TEST_F(CkksFixture, MultiplicationDepthChain)
+{
+    // Chain x -> x^2 -> x^4 -> x^8 through three rescales.
+    std::vector<cplx> a(8);
+    for (size_t i = 0; i < 8; ++i)
+        a[i] = cplx(0.4 + 0.05 * double(i), 0.1);
+    Ciphertext ct = enc.encrypt(encoder.encode(a, ctx.scale(),
+                                               ctx.levels()));
+    for (int d = 0; d < 3; ++d)
+        ct = eval.rescale(eval.square(ct));
+    auto out = encoder.decode(enc.decrypt(ct), 8);
+    for (size_t i = 0; i < 8; ++i) {
+        cplx expect = std::pow(a[i], 8.0);
+        EXPECT_LT(std::abs(out[i] - expect), 1e-2) << "slot " << i;
+    }
+}
+
+TEST_F(CkksFixture, RotationMatchesSlotShift)
+{
+    const size_t slots = ctx.slots();
+    auto a = randomMessage(rng, slots);
+    Ciphertext ct = enc.encrypt(encoder.encode(a, ctx.scale(), 3));
+    for (int steps : {1, 2, 3}) {
+        Ciphertext rot = eval.rotate(ct, steps);
+        auto out = encoder.decode(enc.decrypt(rot), slots);
+        for (size_t i = 0; i < slots; ++i) {
+            cplx expect = a[(i + size_t(steps)) % slots];
+            ASSERT_LT(std::abs(out[i] - expect), 1e-4)
+                << "steps=" << steps << " slot=" << i;
+        }
+    }
+}
+
+TEST_F(CkksFixture, NegativeRotation)
+{
+    const size_t slots = ctx.slots();
+    auto a = randomMessage(rng, slots);
+    Ciphertext ct = enc.encrypt(encoder.encode(a, ctx.scale(), 3));
+    Ciphertext rot = eval.rotate(ct, -1);
+    auto out = encoder.decode(enc.decrypt(rot), slots);
+    for (size_t i = 0; i < slots; ++i) {
+        cplx expect = a[(i + slots - 1) % slots];
+        ASSERT_LT(std::abs(out[i] - expect), 1e-4) << "slot " << i;
+    }
+}
+
+TEST_F(CkksFixture, ConjugationConjugatesSlots)
+{
+    auto a = randomMessage(rng, 16);
+    Ciphertext ct = enc.encrypt(encoder.encode(a, ctx.scale(), 3));
+    Ciphertext conj = eval.conjugate(ct);
+    auto out = encoder.decode(enc.decrypt(conj), 16);
+    for (size_t i = 0; i < 16; ++i)
+        EXPECT_LT(std::abs(out[i] - std::conj(a[i])), 1e-4);
+}
+
+TEST_F(CkksFixture, RescaleTracksScale)
+{
+    auto a = randomMessage(rng, 8);
+    Ciphertext ct = enc.encrypt(encoder.encode(a, ctx.scale(), 4));
+    Ciphertext prod = eval.mult(ct, ct);
+    EXPECT_NEAR(prod.scale, ctx.scale() * ctx.scale(),
+                1e-3 * prod.scale);
+    Ciphertext scaled = eval.rescale(prod);
+    EXPECT_EQ(scaled.level(), 3u);
+    EXPECT_NEAR(scaled.scale, ctx.scale(), 1e-3 * ctx.scale());
+}
+
+TEST_F(CkksFixture, LevelToPreservesMessage)
+{
+    auto a = randomMessage(rng, 8);
+    Ciphertext ct = enc.encrypt(encoder.encode(a, ctx.scale(),
+                                               ctx.levels()));
+    Ciphertext low = eval.levelTo(ct, 2);
+    EXPECT_EQ(low.level(), 2u);
+    auto out = encoder.decode(enc.decrypt(low), 8);
+    EXPECT_LT(maxErr(a, out), 1e-4);
+}
+
+TEST_F(CkksFixture, DifferentDnumValuesAgree)
+{
+    // The dnum decomposition must not change results, only noise.
+    for (size_t dnum : {1u, 2u, 6u}) {
+        CkksParams p = testParams();
+        p.dnum = dnum;
+        CkksContext ctx2(p);
+        CkksEncoder enc2(ctx2);
+        Rng rng2(7);
+        KeyGenerator kg2(ctx2, rng2);
+        SecretKey sk2 = kg2.genSecretKey();
+        SwitchingKey rk2 = kg2.genRelinKey(sk2);
+        CkksEncryptor cenc2(ctx2, sk2, rng2);
+        CkksEvaluator ev2(ctx2, enc2, &rk2);
+
+        auto a = randomMessage(rng2, 16);
+        auto b = randomMessage(rng2, 16);
+        Ciphertext ca = cenc2.encrypt(enc2.encode(a, ctx2.scale(), 4));
+        Ciphertext cb = cenc2.encrypt(enc2.encode(b, ctx2.scale(), 4));
+        auto out = enc2.decode(cenc2.decrypt(ev2.rescale(ev2.mult(ca,
+                                                                  cb))),
+                               16);
+        for (size_t i = 0; i < 16; ++i)
+            EXPECT_LT(std::abs(out[i] - a[i] * b[i]), 1e-3)
+                << "dnum=" << dnum;
+    }
+}
+
+} // namespace
+} // namespace effact

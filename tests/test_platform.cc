@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Platform end-to-end tests: the Fig. 11 ablation ordering, the Fig. 10
+ * scaling trend, Fig. 4 SRAM-sweep monotonicity, and the area/power
+ * model against Table IV / Table V.
+ */
+#include <gtest/gtest.h>
+
+#include "model/area_power.h"
+#include "model/baselines.h"
+#include "model/efficiency.h"
+#include "platform/platform.h"
+
+namespace effact {
+namespace {
+
+/** A reduced-size bootstrapping for fast platform tests. */
+Workload
+smallBoot()
+{
+    FheParams fhe;
+    fhe.logN = 15;
+    fhe.levels = 16;
+    fhe.dnum = 4;
+    return buildBootstrapping(fhe, {size_t(1) << 14, 3, 2, 127, 8});
+}
+
+TEST(Platform, AblationOrderingMatchesFig11)
+{
+    // baseline >= MAD-enhanced >= +streaming/scheduling >= full EFFACT,
+    // in both DRAM transfer and runtime (Fig. 11's four bars). The test
+    // workload is a reduced bootstrapping (logN=15, L=16), so the SRAM
+    // is reduced proportionally to stay in the resource-constrained
+    // regime Fig. 11 studies (27 MB at N=2^16, L=24).
+    HardwareConfig hw = HardwareConfig::asicEffact27();
+    hw.sramBytes = size_t(6) << 20;
+    auto runWith = [&](CompilerOptions opts, bool mac_reuse) {
+        HardwareConfig cfg = hw;
+        cfg.nttMacReuse = mac_reuse;
+        Workload w = smallBoot();
+        Platform p(cfg, opts);
+        return p.run(w);
+    };
+
+    auto base = runWith(Platform::baselineOptions(hw.sramBytes), false);
+    auto mad = runWith(Platform::madEnhancedOptions(hw.sramBytes), false);
+    auto stream = runWith(Platform::streamingOptions(hw.sramBytes), false);
+    auto full = runWith(Platform::fullOptions(hw.sramBytes), true);
+
+    EXPECT_GE(base.dramGb, mad.dramGb * 0.999);
+    EXPECT_GT(mad.dramGb, stream.dramGb);
+    EXPECT_GE(stream.dramGb, full.dramGb * 0.999);
+
+    EXPECT_GT(base.benchTimeMs, stream.benchTimeMs);
+    EXPECT_GE(stream.benchTimeMs, full.benchTimeMs * 0.98);
+}
+
+TEST(Platform, ScalingUpResourcesHelps)
+{
+    // Fig. 10: EFFACT-54/108/162 speed up over EFFACT-27.
+    Workload w27 = smallBoot();
+    Platform p27(HardwareConfig::asicEffact27(),
+                 Platform::fullOptions(HardwareConfig::asicEffact27()
+                                           .sramBytes));
+    auto r27 = p27.run(w27);
+
+    Workload w108 = smallBoot();
+    Platform p108(HardwareConfig::asicEffact108(),
+                  Platform::fullOptions(HardwareConfig::asicEffact108()
+                                            .sramBytes));
+    auto r108 = p108.run(w108);
+
+    EXPECT_LT(r108.benchTimeMs, r27.benchTimeMs);
+}
+
+TEST(Platform, SramSweepReducesDramTraffic)
+{
+    // Fig. 4: larger SRAM -> fewer spills -> less DRAM traffic and
+    // shorter runtime, saturating past the working set.
+    double prev_dram = 1e300;
+    for (size_t mb : {8, 27, 108}) {
+        HardwareConfig hw = HardwareConfig::asicEffact27();
+        hw.sramBytes = mb << 20;
+        Workload w = smallBoot();
+        Platform p(hw, Platform::fullOptions(hw.sramBytes));
+        auto r = p.run(w);
+        EXPECT_LE(r.dramGb, prev_dram * 1.001) << mb << " MB";
+        prev_dram = r.dramGb;
+    }
+}
+
+TEST(Model, Table4BreakdownReproduced)
+{
+    ChipCost cost = estimateAsic(HardwareConfig::asicEffact27());
+    // Calibration must reproduce the published totals.
+    EXPECT_NEAR(cost.totalAreaMm2, 211.9, 3.0);
+    EXPECT_NEAR(cost.totalPowerW, 135.7, 3.0);
+    double sram_area = 0;
+    for (const auto &c : cost.components)
+        if (c.name == "SRAM")
+            sram_area = c.areaMm2;
+    EXPECT_NEAR(sram_area / cost.totalAreaMm2, 0.3846, 0.02);
+}
+
+TEST(Model, Table5AreaRatiosReproduced)
+{
+    // ASIC-EFFACT area over scaled baselines (Table V narrative):
+    // 0.783x F1, 0.153x BTS, 0.257x CraterLake, 0.137x ARK.
+    const double effact_area = estimateAsic(
+        HardwareConfig::asicEffact27()).totalAreaMm2;
+    struct Row { const char *name; double expect; };
+    for (const Row &row : {Row{"F1", 0.783}, Row{"BTS", 0.153},
+                           Row{"CraterLake", 0.257}, Row{"ARK", 0.137}}) {
+        double ratio = effact_area / baseline(row.name).scaledAreaMm2();
+        EXPECT_NEAR(ratio, row.expect, row.expect * 0.25) << row.name;
+    }
+}
+
+TEST(Model, EfficiencyNormalization)
+{
+    std::vector<EfficiencyPoint> pts = {
+        {"F1", 10.0, 100.0, 50.0},
+        {"X", 5.0, 100.0, 50.0},  // 2x faster, same cost
+        {"Y", 10.0, 50.0, 25.0},  // same speed, half cost
+    };
+    auto density = perfDensityNormalized(pts);
+    auto power = powerEfficiencyNormalized(pts);
+    EXPECT_DOUBLE_EQ(density[0], 1.0);
+    EXPECT_DOUBLE_EQ(density[1], 2.0);
+    EXPECT_DOUBLE_EQ(density[2], 2.0);
+    EXPECT_DOUBLE_EQ(power[1], 2.0);
+    EXPECT_DOUBLE_EQ(power[2], 2.0);
+    EXPECT_NEAR(gmean({2.0, 8.0}), 4.0, 1e-12);
+}
+
+TEST(Model, FpgaResourceEstimateMatchesTable6)
+{
+    FpgaResources r = estimateFpga(HardwareConfig::fpgaEffact());
+    EXPECT_NEAR(r.lut, 1246e3, 1e3);
+    EXPECT_NEAR(r.dsp, 8212, 1);
+    EXPECT_NEAR(r.bram, 1343, 2);
+}
+
+TEST(Platform, FpgaSlowerThanAsic)
+{
+    Workload wa = smallBoot();
+    Platform pa(HardwareConfig::asicEffact27(),
+                Platform::fullOptions(
+                    HardwareConfig::asicEffact27().sramBytes));
+    auto ra = pa.run(wa);
+
+    Workload wf = smallBoot();
+    Platform pf(HardwareConfig::fpgaEffact(),
+                Platform::fullOptions(
+                    HardwareConfig::fpgaEffact().sramBytes));
+    auto rf = pf.run(wf);
+    EXPECT_GT(rf.benchTimeMs, ra.benchTimeMs);
+}
+
+} // namespace
+} // namespace effact

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Simulator tests: latency model, bandwidth accounting, FU contention,
+ * NTT<->MAC reuse, and streaming overlap behaviour.
+ */
+#include <gtest/gtest.h>
+
+#include "compiler/pass.h"
+#include "ir/workloads.h"
+#include "sim/machine.h"
+
+namespace effact {
+namespace {
+
+/** One load, one NTT, one store over a single residue. */
+MachineProgram
+loadComputeStore(size_t residue_bytes)
+{
+    MachineProgram mp;
+    mp.residueBytes = residue_bytes;
+    MachInst ld;
+    ld.op = Opcode::LOAD_RES;
+    ld.dest = Operand::regOp(0);
+    mp.insts.push_back(ld);
+    MachInst ntt;
+    ntt.op = Opcode::NTT;
+    ntt.dest = Operand::regOp(1);
+    ntt.src0 = Operand::regOp(0);
+    mp.insts.push_back(ntt);
+    MachInst st;
+    st.op = Opcode::STORE_RES;
+    st.src0 = Operand::regOp(1);
+    mp.insts.push_back(st);
+    return mp;
+}
+
+TEST(Simulator, SerialChainLatencyAddsUp)
+{
+    HardwareConfig hw = HardwareConfig::asicEffact27();
+    const size_t n = size_t(1) << 16;
+    MachineProgram mp = loadComputeStore(n * 8);
+    SimReport r = Simulator(hw).run(mp);
+
+    const double mem = double(n * 8) / hw.hbmBytesPerCycle();
+    const double ntt = double(n) * 16 / 2 / double(hw.lanes);
+    // Load, then NTT, then store, plus fixed startup latencies.
+    EXPECT_NEAR(r.cycles, 2 * mem + ntt + 3 * 16, 2.0);
+    EXPECT_DOUBLE_EQ(r.dramBytes, double(2 * n * 8));
+}
+
+TEST(Simulator, IndependentOpsOverlapAcrossUnits)
+{
+    HardwareConfig hw = HardwareConfig::asicEffact27();
+    const size_t n = size_t(1) << 16;
+    MachineProgram mp;
+    mp.residueBytes = n * 8;
+    // Two independent MMULs with 2 mul units: should overlap fully.
+    for (int i = 0; i < 2; ++i) {
+        MachInst mi;
+        mi.op = Opcode::MMUL;
+        mi.dest = Operand::regOp(2 + i);
+        mi.src0 = Operand::regOp(0);
+        mi.src1 = Operand::regOp(1);
+        mp.insts.push_back(mi);
+    }
+    SimReport r2 = Simulator(hw).run(mp);
+
+    // Four: exceeds the 2 mul units -> serialization.
+    for (int i = 0; i < 2; ++i) {
+        MachInst mi;
+        mi.op = Opcode::MMUL;
+        mi.dest = Operand::regOp(4 + i);
+        mi.src0 = Operand::regOp(0);
+        mi.src1 = Operand::regOp(1);
+        mp.insts.push_back(mi);
+    }
+    SimReport r4 = Simulator(hw).run(mp);
+    EXPECT_GT(r4.cycles, r2.cycles);
+    EXPECT_NEAR(r4.cycles, r2.cycles + 64, 2.0); // one extra beat batch
+}
+
+TEST(Simulator, MacReuseUsesIdleNttUnits)
+{
+    HardwareConfig hw = HardwareConfig::asicEffact27();
+    const size_t n = size_t(1) << 16;
+    MachineProgram mp;
+    mp.residueBytes = n * 8;
+    // A burst of independent MACs: with reuse they spread over
+    // NTT+MUL units; without, they serialize on the MUL units.
+    for (int i = 0; i < 8; ++i) {
+        MachInst mi;
+        mi.op = Opcode::MMAC;
+        mi.dest = Operand::regOp(8 + i);
+        mi.src0 = Operand::regOp(0);
+        mi.src1 = Operand::regOp(1);
+        mp.insts.push_back(mi);
+    }
+    SimReport with = Simulator(hw).run(mp);
+    hw.nttMacReuse = false;
+    SimReport without = Simulator(hw).run(mp);
+    EXPECT_LT(with.cycles, without.cycles);
+}
+
+TEST(Simulator, StreamingOperandOverlapsComputeWithTransfer)
+{
+    HardwareConfig hw = HardwareConfig::asicEffact27();
+    const size_t n = size_t(1) << 16;
+
+    // Explicit load then MMUL (no streaming).
+    MachineProgram mp1;
+    mp1.residueBytes = n * 8;
+    {
+        MachInst ld;
+        ld.op = Opcode::LOAD_RES;
+        ld.dest = Operand::regOp(0);
+        mp1.insts.push_back(ld);
+        MachInst mul;
+        mul.op = Opcode::MMUL;
+        mul.dest = Operand::regOp(2);
+        mul.src0 = Operand::regOp(0);
+        mul.src1 = Operand::regOp(1);
+        mp1.insts.push_back(mul);
+    }
+    SimReport staged = Simulator(hw).run(mp1);
+
+    // Streaming operand straight from DRAM.
+    MachineProgram mp2;
+    mp2.residueBytes = n * 8;
+    {
+        MachInst mul;
+        mul.op = Opcode::MMUL;
+        mul.dest = Operand::regOp(2);
+        mul.src0 = Operand::stream(0, /*from_dram=*/true);
+        mul.src1 = Operand::regOp(1);
+        mp2.insts.push_back(mul);
+    }
+    SimReport streamed = Simulator(hw).run(mp2);
+
+    EXPECT_LT(streamed.cycles, staged.cycles);
+    EXPECT_DOUBLE_EQ(streamed.dramBytes, staged.dramBytes);
+}
+
+TEST(Simulator, FifoForwardMatchesProducerConsumer)
+{
+    HardwareConfig hw = HardwareConfig::asicEffact27();
+    const size_t n = size_t(1) << 16;
+    MachineProgram mp;
+    mp.residueBytes = n * 8;
+    MachInst prod;
+    prod.op = Opcode::MMUL;
+    prod.dest = Operand::stream(7); // FIFO token 7
+    prod.src0 = Operand::regOp(0);
+    prod.src1 = Operand::regOp(1);
+    mp.insts.push_back(prod);
+    MachInst cons;
+    cons.op = Opcode::MMAD;
+    cons.dest = Operand::regOp(2);
+    cons.src0 = Operand::stream(7);
+    cons.src1 = Operand::regOp(1);
+    mp.insts.push_back(cons);
+    SimReport r = Simulator(hw).run(mp);
+    // Consumer starts only after producer finishes: > one op each.
+    EXPECT_GT(r.cycles, 2 * 64.0);
+    EXPECT_EQ(r.dramBytes, 0.0);
+}
+
+TEST(Simulator, HigherBandwidthShortensMemoryBoundPrograms)
+{
+    FheParams fhe;
+    fhe.logN = 15;
+    fhe.levels = 16;
+    fhe.dnum = 4;
+    Workload w = buildBootstrapping(fhe, {1024, 2, 2, 63, 8});
+    Compiler compiler;
+    MachineProgram mp = compiler.compile(w.program);
+
+    HardwareConfig slow = HardwareConfig::asicEffact27();
+    slow.hbmBytesPerSec = 0.3e12;
+    HardwareConfig fast = HardwareConfig::asicEffact27();
+    fast.hbmBytesPerSec = 2.4e12;
+    SimReport rs = Simulator(slow).run(mp);
+    SimReport rf = Simulator(fast).run(mp);
+    EXPECT_LT(rf.cycles, rs.cycles);
+}
+
+TEST(Simulator, UtilizationsAreFractions)
+{
+    FheParams fhe;
+    fhe.logN = 14;
+    fhe.levels = 14;
+    fhe.dnum = 2;
+    Workload w = buildBootstrapping(fhe, {256, 2, 2, 31, 8});
+    Compiler compiler;
+    MachineProgram mp = compiler.compile(w.program);
+    SimReport r = Simulator(HardwareConfig::asicEffact27()).run(mp);
+    for (double u : {r.dramUtil, r.nttUtil, r.mulAddUtil, r.autoUtil}) {
+        EXPECT_GE(u, 0.0);
+        EXPECT_LE(u, 1.0 + 1e-9);
+    }
+    EXPECT_GT(r.cycles, 0.0);
+}
+
+TEST(Simulator, InOrderWindowOneIsSlower)
+{
+    FheParams fhe;
+    fhe.logN = 14;
+    fhe.levels = 14;
+    fhe.dnum = 2;
+    Workload w = buildBootstrapping(fhe, {256, 2, 2, 31, 8});
+    Compiler compiler;
+    MachineProgram mp = compiler.compile(w.program);
+
+    HardwareConfig ooo = HardwareConfig::asicEffact27();
+    HardwareConfig inorder = ooo;
+    inorder.issueWindow = 1;
+    SimReport r_ooo = Simulator(ooo).run(mp);
+    SimReport r_io = Simulator(inorder).run(mp);
+    EXPECT_LE(r_ooo.cycles, r_io.cycles);
+}
+
+} // namespace
+} // namespace effact

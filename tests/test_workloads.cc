@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Workload-generator tests: program well-formedness, instruction-mix
+ * shape versus Fig. 3, and kernel op-count invariants.
+ */
+#include <gtest/gtest.h>
+
+#include "ir/workloads.h"
+
+namespace effact {
+namespace {
+
+FheParams
+paperParams()
+{
+    FheParams p; // N=2^16, L=24, dnum=4 (Table III)
+    return p;
+}
+
+void
+checkWellFormed(const IrProgram &prog)
+{
+    for (size_t i = 0; i < prog.insts.size(); ++i) {
+        const IrInst &inst = prog.insts[i];
+        if (inst.dead)
+            continue;
+        for (int operand : {inst.a, inst.b, inst.c}) {
+            ASSERT_GE(operand, -1);
+            if (operand >= 0) {
+                ASSERT_LT(static_cast<size_t>(operand), i)
+                    << "forward reference at " << i;
+                ASSERT_FALSE(prog.insts[operand].dead);
+            }
+        }
+        if (inst.mem.object >= 0)
+            ASSERT_LT(static_cast<size_t>(inst.mem.object),
+                      prog.objects.size());
+    }
+}
+
+TEST(Workloads, AllBenchmarksAreWellFormed)
+{
+    for (auto &[name, w] : buildAllBenchmarks(paperParams())) {
+        SCOPED_TRACE(name);
+        checkWellFormed(w.program);
+        EXPECT_GT(w.program.liveCount(), 1000u);
+        EXPECT_GT(w.repeat, 0.0);
+    }
+}
+
+TEST(Workloads, BootstrapMixMatchesFig3Shape)
+{
+    Workload w = buildBootstrapping(paperParams());
+    StatSet mix = w.program.opMix();
+    const double ntt = mix.get("NTT");
+    const double mult = mix.get("MULT") + mix.get("BC_MULT");
+    const double add = mix.get("ADD") + mix.get("BC_ADD");
+    const double total = ntt + mult + add + mix.get("AUTO") +
+                         mix.get("LOAD") + mix.get("STORE");
+
+    // Fig. 3: NTT ~6.5%, MULT+ADD ~90% of compute instructions; BConv
+    // accounts for roughly half the MULTs and ADDs. Structural lowering
+    // will not match exactly — require the qualitative shape.
+    EXPECT_LT(ntt / total, 0.20);
+    EXPECT_GT((mult + add) / total, 0.60);
+    EXPECT_GT(mix.get("BC_MULT") / mult, 0.30);
+    EXPECT_LT(mix.get("BC_MULT") / mult, 0.70);
+    EXPECT_GT(mix.get("BC_ADD") / add, 0.30);
+    EXPECT_LT(mix.get("BC_ADD") / add, 0.70);
+}
+
+TEST(Workloads, MixIsBConvHeavyInAllCkksBenchmarks)
+{
+    for (auto &[name, w] : buildAllBenchmarks(paperParams())) {
+        if (name == "DBLookup")
+            continue; // depth-1 BGV: barely any key switching
+        SCOPED_TRACE(name);
+        StatSet mix = w.program.opMix();
+        EXPECT_GT(mix.get("BC_MULT"), 0.0);
+        EXPECT_GT(mix.get("BC_ADD"), 0.0);
+    }
+}
+
+TEST(Workloads, KeySwitchOpCountsScaleWithDnum)
+{
+    FheParams p2 = paperParams();
+    p2.dnum = 2;
+    FheParams p4 = paperParams();
+    p4.dnum = 4;
+
+    auto loadCount = [](const FheParams &p) {
+        IrProgram prog;
+        KernelBuilder kb(prog, p);
+        int evk = kb.switchingKeyObject("evk");
+        IrCt a = kb.inputCiphertext("a", p.levels);
+        IrCt b = kb.inputCiphertext("b", p.levels);
+        kb.output("out", kb.hmult(a, b, evk));
+        return prog.opMix().get("LOAD");
+    };
+    // More digits -> more evk polynomials streamed per key switch
+    // (2 * dnum * (l + alpha) residues); total compute is NOT monotone
+    // in dnum because alpha shrinks as dnum grows.
+    EXPECT_GT(loadCount(p4), loadCount(p2));
+}
+
+TEST(Workloads, RescaleCostsLinearInLevel)
+{
+    FheParams p = paperParams();
+    IrProgram prog;
+    KernelBuilder kb(prog, p);
+    IrCt a = kb.inputCiphertext("a", 10);
+    size_t before = prog.liveCount();
+    kb.rescale(a);
+    size_t cost10 = prog.liveCount() - before;
+
+    IrCt b = kb.inputCiphertext("b", 20);
+    before = prog.liveCount();
+    kb.rescale(b);
+    size_t cost20 = prog.liveCount() - before;
+    EXPECT_GT(cost20, cost10);
+    EXPECT_LT(cost20, 3 * cost10);
+}
+
+TEST(Workloads, BconvMatchesAnalyticCounts)
+{
+    FheParams p = paperParams();
+    IrProgram prog;
+    KernelBuilder kb(prog, p);
+    IrBuilder &b = kb.builder();
+    int obj = b.object("in", 6, false);
+    PolyVal v = b.load(obj, 0, 6);
+    size_t before = prog.liveCount();
+    kb.bconv(v, 10);
+    size_t cost = prog.liveCount() - before;
+    // l qhat-inv MULs + per target limb: l MULs + (l-1) ADDs.
+    EXPECT_EQ(cost, 6 + 10 * 6 + 10 * 5);
+}
+
+TEST(Workloads, TfheUsesAutoAndNtt)
+{
+    Workload w = buildTfheBootstrap();
+    checkWellFormed(w.program);
+    StatSet mix = w.program.opMix();
+    EXPECT_GT(mix.get("AUTO"), 0.0);
+    EXPECT_GT(mix.get("NTT"), 0.0);
+    EXPECT_GT(mix.get("MULT"), 0.0);
+}
+
+TEST(Workloads, ReadOnlyFootprintIncludesKeys)
+{
+    Workload w = buildBootstrapping(paperParams());
+    // Three switching-key objects at dnum=4, L=24, alpha=6:
+    // 3 * 4 * 2 * 30 residues * 512 KB = 360 MB minimum.
+    EXPECT_GT(w.program.readOnlyBytes(), size_t(300) << 20);
+}
+
+TEST(Workloads, CompactPreservesMix)
+{
+    Workload w = buildHelr(paperParams());
+    StatSet before = w.program.opMix();
+    w.program.compact();
+    StatSet after = w.program.opMix();
+    for (const auto &[key, value] : before.all())
+        EXPECT_DOUBLE_EQ(after.get(key), value) << key;
+}
+
+} // namespace
+} // namespace effact
