@@ -148,8 +148,10 @@ runPre(IrProgram &prog, StatSet &stats)
             continue;
         inst.dead = true;
         ++dce;
-        if (inst.a >= 0 && --uses[inst.a] == 0)
-            ; // handled when the loop reaches it (reverse order)
+        // A use count hitting zero is handled when the reverse loop
+        // reaches the defining instruction.
+        if (inst.a >= 0)
+            --uses[inst.a];
         if (inst.b >= 0)
             --uses[inst.b];
     }

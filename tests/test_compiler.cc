@@ -194,8 +194,9 @@ TEST(Scheduler, RespectsDependences)
         if (inst.dead)
             continue;
         for (int operand : {inst.a, inst.b, inst.c})
-            if (operand >= 0)
+            if (operand >= 0) {
                 EXPECT_LT(pos[operand], pos[i]);
+            }
     }
 }
 

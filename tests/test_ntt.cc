@@ -22,6 +22,26 @@ randomPoly(Rng &rng, size_t n, u64 q)
     return a;
 }
 
+/**
+ * One coefficient of the negacyclic product a * b mod (X^N + 1, q),
+ * computed directly in O(N): c[k] = sum_{i+j=k} a[i]b[j]
+ *                                 - sum_{i+j=k+N} a[i]b[j].
+ * Lets large transforms check real convolution output on a sample of
+ * coefficients instead of paying the full O(N^2) schoolbook.
+ */
+u64
+negacyclicCoeff(const std::vector<u64> &a, const std::vector<u64> &b,
+                size_t k, u64 q)
+{
+    const size_t n = a.size();
+    u64 c = 0;
+    for (size_t i = 0; i < n; ++i) {
+        u64 term = mulMod(a[i], b[(k + n - i) % n], q);
+        c = i <= k ? addMod(c, term, q) : subMod(c, term, q);
+    }
+    return c;
+}
+
 class NttSizes : public ::testing::TestWithParam<size_t> {};
 
 TEST_P(NttSizes, ForwardBackwardRoundTrip)
@@ -40,14 +60,11 @@ TEST_P(NttSizes, ForwardBackwardRoundTrip)
 TEST_P(NttSizes, ConvolutionMatchesSchoolbook)
 {
     const size_t n = GetParam();
-    if (n > 512)
-        GTEST_SKIP() << "schoolbook reference is O(N^2)";
     const u64 q = genNttPrimes(1, 50, n)[0];
     Ntt ntt(n, q);
     Rng rng(n + 1);
     auto a = randomPoly(rng, n, q);
     auto b = randomPoly(rng, n, q);
-    auto expect = Ntt::negacyclicMulSchoolbook(a, b, q);
 
     auto fa = a, fb = b;
     ntt.forward(fa);
@@ -55,7 +72,22 @@ TEST_P(NttSizes, ConvolutionMatchesSchoolbook)
     for (size_t i = 0; i < n; ++i)
         fa[i] = mulMod(fa[i], fb[i], q);
     ntt.backward(fa);
-    EXPECT_EQ(fa, expect);
+
+    if (n <= 512) {
+        // Small sizes: full O(N^2) schoolbook, every coefficient.
+        EXPECT_EQ(fa, Ntt::negacyclicMulSchoolbook(a, b, q));
+        return;
+    }
+    // Large sizes: check a deterministic sample of coefficients against
+    // the O(N)-per-coefficient direct convolution (ends, middle, and a
+    // random spread), capping the reference cost at O(kN).
+    constexpr size_t kSamples = 24;
+    Rng pick(n + 2);
+    std::vector<size_t> idx = {0, 1, n / 2, n - 2, n - 1};
+    while (idx.size() < kSamples)
+        idx.push_back(pick.uniform(n));
+    for (size_t k : idx)
+        ASSERT_EQ(fa[k], negacyclicCoeff(a, b, k, q)) << "coeff " << k;
 }
 
 INSTANTIATE_TEST_SUITE_P(PowersOfTwo, NttSizes,

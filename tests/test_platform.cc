@@ -6,6 +6,8 @@
  */
 #include <gtest/gtest.h>
 
+#include <chrono>
+
 #include "model/area_power.h"
 #include "model/baselines.h"
 #include "model/efficiency.h"
@@ -25,6 +27,37 @@ smallBoot()
     return buildBootstrapping(fhe, {size_t(1) << 14, 3, 2, 127, 8});
 }
 
+/** The four Fig. 11 design points, shared by the ordering and the
+ *  wall-clock regression test so they cannot drift apart. */
+struct AblationConfig
+{
+    const char *name;
+    CompilerOptions opts;
+    bool macReuse;
+};
+
+std::vector<AblationConfig>
+ablationConfigs(size_t sram_bytes)
+{
+    return {
+        {"baseline", Platform::baselineOptions(sram_bytes), false},
+        {"MAD-enhanced", Platform::madEnhancedOptions(sram_bytes), false},
+        {"streaming", Platform::streamingOptions(sram_bytes), false},
+        {"full", Platform::fullOptions(sram_bytes), true},
+    };
+}
+
+/** Compile + simulate smallBoot() under one ablation design point. */
+PlatformResult
+runAblation(const HardwareConfig &hw, const AblationConfig &config)
+{
+    HardwareConfig cfg = hw;
+    cfg.nttMacReuse = config.macReuse;
+    Workload w = smallBoot();
+    Platform p(cfg, config.opts);
+    return p.run(w);
+}
+
 TEST(Platform, AblationOrderingMatchesFig11)
 {
     // baseline >= MAD-enhanced >= +streaming/scheduling >= full EFFACT,
@@ -34,18 +67,13 @@ TEST(Platform, AblationOrderingMatchesFig11)
     // regime Fig. 11 studies (27 MB at N=2^16, L=24).
     HardwareConfig hw = HardwareConfig::asicEffact27();
     hw.sramBytes = size_t(6) << 20;
-    auto runWith = [&](CompilerOptions opts, bool mac_reuse) {
-        HardwareConfig cfg = hw;
-        cfg.nttMacReuse = mac_reuse;
-        Workload w = smallBoot();
-        Platform p(cfg, opts);
-        return p.run(w);
-    };
+    auto configs = ablationConfigs(hw.sramBytes);
+    ASSERT_EQ(configs.size(), 4u);
 
-    auto base = runWith(Platform::baselineOptions(hw.sramBytes), false);
-    auto mad = runWith(Platform::madEnhancedOptions(hw.sramBytes), false);
-    auto stream = runWith(Platform::streamingOptions(hw.sramBytes), false);
-    auto full = runWith(Platform::fullOptions(hw.sramBytes), true);
+    auto base = runAblation(hw, configs[0]);
+    auto mad = runAblation(hw, configs[1]);
+    auto stream = runAblation(hw, configs[2]);
+    auto full = runAblation(hw, configs[3]);
 
     EXPECT_GE(base.dramGb, mad.dramGb * 0.999);
     EXPECT_GT(mad.dramGb, stream.dramGb);
@@ -53,6 +81,27 @@ TEST(Platform, AblationOrderingMatchesFig11)
 
     EXPECT_GT(base.benchTimeMs, stream.benchTimeMs);
     EXPECT_GE(stream.benchTimeMs, full.benchTimeMs * 0.98);
+}
+
+TEST(Platform, AblationConfigsCompileWithinBudget)
+{
+    // Regression guard for the Fig. 11 bring-up hang: the scheduler once
+    // re-evaluated liveCount() (an O(n) scan) in its main-loop condition,
+    // turning compilation of the ~80k-instruction reduced bootstrapping
+    // quadratic (>10 s per scheduled config; minutes at -O0). Each of the
+    // four ablation configurations must now compile + simulate well under
+    // a wall-clock budget that the quadratic path cannot meet.
+    constexpr double kBudgetSecs = 5.0;
+    HardwareConfig hw = HardwareConfig::asicEffact27();
+    hw.sramBytes = size_t(6) << 20;
+    for (const AblationConfig &c : ablationConfigs(hw.sramBytes)) {
+        auto t0 = std::chrono::steady_clock::now();
+        auto r = runAblation(hw, c);
+        std::chrono::duration<double> elapsed =
+            std::chrono::steady_clock::now() - t0;
+        EXPECT_LT(elapsed.count(), kBudgetSecs) << c.name;
+        EXPECT_GT(r.benchTimeMs, 0.0) << c.name;
+    }
 }
 
 TEST(Platform, ScalingUpResourcesHelps)

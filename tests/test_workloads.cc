@@ -32,9 +32,10 @@ checkWellFormed(const IrProgram &prog)
                 ASSERT_FALSE(prog.insts[operand].dead);
             }
         }
-        if (inst.mem.object >= 0)
+        if (inst.mem.object >= 0) {
             ASSERT_LT(static_cast<size_t>(inst.mem.object),
                       prog.objects.size());
+        }
     }
 }
 
