@@ -24,6 +24,10 @@ struct CompilerOptions
     bool streaming = true; ///< streaming memory access (Sec. IV-C)
     size_t sramBytes = size_t(27) << 20; ///< on-chip SRAM capacity
     size_t fifoDepth = 96; ///< FU-to-FU forwarding window (instructions)
+    /** Target machine's OoO scoreboard depth (the span over which the
+     *  regalloc measures spill-reload pressure); `Platform` overwrites
+     *  it with `HardwareConfig::issueWindow`. */
+    size_t issueWindow = 64;
 };
 
 // --- Individual passes (each returns its statistics) ----------------------

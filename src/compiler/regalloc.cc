@@ -37,11 +37,9 @@ runRegAllocAndCodegen(const IrProgram &prog, const std::vector<int> &order,
     const size_t n = prog.insts.size();
     const size_t residue_bytes = prog.degree * 8;
     size_t num_regs = std::max<size_t>(opts.sramBytes / residue_bytes, 8);
-    // Reserve scratch registers for spill reloads.
-    const size_t num_scratch = 4;
-    const size_t alloc_regs = num_regs > num_scratch
-                                  ? num_regs - num_scratch
-                                  : 4;
+    // Scratch registers for spill reloads; sized from measured reload
+    // pressure after a first allocation pass (see below).
+    const size_t max_scratch = 4;
 
     // Scheduled position of each instruction.
     std::vector<int> pos(n, -1);
@@ -83,44 +81,108 @@ runRegAllocAndCodegen(const IrProgram &prog, const std::vector<int> &order,
     // Linear scan over the schedule.
     std::vector<int> assigned(n, -1);    // register id per value
     std::vector<uint8_t> spilled(n, 0);  // spilled to HBM
-    std::vector<int> free_regs;
-    for (size_t r = 0; r < alloc_regs; ++r)
-        free_regs.push_back(static_cast<int>(r));
-    // Active intervals ordered by end position.
-    std::set<std::pair<int, int>> active; // (end, value)
-
     size_t spill_count = 0;
-    for (int idx : order) {
-        const size_t i = static_cast<size_t>(idx);
-        if (!needs_reg[i])
-            continue;
-        const int start = pos[i];
-        const int end = last_use[i];
-        // Expire finished intervals.
-        while (!active.empty() && active.begin()->first < start) {
-            free_regs.push_back(assigned[active.begin()->second]);
-            active.erase(active.begin());
-        }
-        if (!free_regs.empty()) {
-            assigned[i] = free_regs.back();
-            free_regs.pop_back();
-            active.emplace(end, static_cast<int>(i));
-        } else {
-            // Spill the interval that ends furthest away.
-            auto furthest = std::prev(active.end());
-            if (furthest->first > end) {
-                int victim = furthest->second;
-                assigned[i] = assigned[victim];
-                spilled[victim] = 1;
-                assigned[victim] = -1;
-                active.erase(furthest);
+
+    auto linearScan = [&](size_t alloc_regs) {
+        assigned.assign(n, -1);
+        spilled.assign(n, 0);
+        spill_count = 0;
+        std::vector<int> free_regs;
+        for (size_t r = 0; r < alloc_regs; ++r)
+            free_regs.push_back(static_cast<int>(r));
+        // Active intervals ordered by end position.
+        std::set<std::pair<int, int>> active; // (end, value)
+
+        for (int idx : order) {
+            const size_t i = static_cast<size_t>(idx);
+            if (!needs_reg[i])
+                continue;
+            const int start = pos[i];
+            const int end = last_use[i];
+            // Expire finished intervals.
+            while (!active.empty() && active.begin()->first < start) {
+                free_regs.push_back(assigned[active.begin()->second]);
+                active.erase(active.begin());
+            }
+            if (!free_regs.empty()) {
+                assigned[i] = free_regs.back();
+                free_regs.pop_back();
                 active.emplace(end, static_cast<int>(i));
             } else {
-                spilled[i] = 1;
+                // Spill the interval that ends furthest away.
+                auto furthest = std::prev(active.end());
+                if (furthest->first > end) {
+                    int victim = furthest->second;
+                    assigned[i] = assigned[victim];
+                    spilled[victim] = 1;
+                    assigned[victim] = -1;
+                    active.erase(furthest);
+                    active.emplace(end, static_cast<int>(i));
+                } else {
+                    spilled[i] = 1;
+                }
+                ++spill_count;
             }
-            ++spill_count;
+        }
+    };
+    // First pass with the whole pool minus one scratch register (the
+    // minimum: non-reload fallbacks below also target scratch).
+    linearScan(num_regs - 1);
+
+    // Size the scratch pool from measured reload pressure. Reloads
+    // round-robin through the pool, so reuse of a scratch register
+    // within the OoO scoreboard's reach creates WAW anti-dependences
+    // between reloads; spacing them over `pressure` registers (the
+    // most reloads observed in any issue-window span of the schedule)
+    // removes that serialization. The pool is capped at the historic 4:
+    // a cycle sweep across SRAM sizes showed anti-dependences only gate
+    // issue in this machine model (they are nearly free), while every
+    // register taken from the allocator adds spills — spill count, not
+    // WAW spacing, dominates simulated cycles. So low pressure shrinks
+    // the pool and returns registers to the allocator; high pressure
+    // never grows it past 4.
+    size_t num_scratch = 1;
+    if (spill_count > 0) {
+        // The span over which reloads can be in flight concurrently is
+        // the target's OoO scoreboard depth.
+        const size_t pressure_window =
+            std::max<size_t>(opts.issueWindow, 1);
+        std::vector<uint32_t> reloads;
+        reloads.reserve(order.size());
+        for (int idx : order) {
+            const IrInst &inst = prog.insts[static_cast<size_t>(idx)];
+            uint32_t cnt = 0;
+            if (inst.op == IrOp::Store) {
+                if (!streaming.streamedStore[static_cast<size_t>(idx)] &&
+                    inst.a >= 0 && spilled[inst.a])
+                    ++cnt;
+            } else {
+                if (inst.a >= 0 && spilled[inst.a])
+                    ++cnt;
+                if (!inst.useImm && inst.b >= 0 && spilled[inst.b])
+                    ++cnt;
+                if (inst.op == IrOp::Mac && inst.c >= 0 &&
+                    spilled[inst.c])
+                    ++cnt;
+            }
+            reloads.push_back(cnt);
+        }
+        size_t in_window = 0, pressure = 0;
+        for (size_t k = 0; k < reloads.size(); ++k) {
+            in_window += reloads[k];
+            if (k >= pressure_window)
+                in_window -= reloads[k - pressure_window];
+            pressure = std::max(pressure, in_window);
+        }
+        stats.add("regalloc.reloadPressure", double(pressure));
+        num_scratch = std::min(std::max<size_t>(pressure, 1), max_scratch);
+        if (num_scratch > 1) {
+            // Re-allocate with the final pool (one resize pass; the
+            // re-run's pressure is close enough not to iterate).
+            linearScan(num_regs - num_scratch);
         }
     }
+    const size_t alloc_regs = num_regs - num_scratch;
 
     // HBM address map: program objects first, then the spill area.
     std::vector<u64> obj_base(prog.objects.size(), 0);
@@ -285,6 +347,7 @@ runRegAllocAndCodegen(const IrProgram &prog, const std::vector<int> &order,
         mp.streamedOps += s;
 
     stats.add("regalloc.registers", double(num_regs));
+    stats.add("regalloc.scratchRegs", double(num_scratch));
     stats.add("regalloc.spilledValues", double(spill_count));
     stats.add("regalloc.spillLoads", double(mp.spillLoads));
     stats.add("regalloc.spillStores", double(mp.spillStores));

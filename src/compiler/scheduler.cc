@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include "common/logging.h"
+#include "sched/depgraph.h"
 
 #include <queue>
 
@@ -50,36 +51,20 @@ runScheduler(const IrProgram &prog,
         return order;
     }
 
-    // Build the dependence graph: SSA uses + memory edges.
-    std::vector<std::vector<int>> succs(n);
-    std::vector<uint32_t> preds(n, 0);
-    auto addEdge = [&](int from, int to) {
-        succs[from].push_back(to);
-        ++preds[to];
-    };
-    for (size_t i = 0; i < n; ++i) {
-        const IrInst &inst = prog.insts[i];
-        if (inst.dead)
-            continue;
-        for (int operand : {inst.a, inst.b, inst.c})
-            if (operand >= 0)
-                addEdge(operand, static_cast<int>(i));
-    }
-    for (auto [from, to] : deps)
-        addEdge(from, to);
+    // The shared dependence-graph layer: SSA true dependences + the
+    // alias pass's memory-ordering edges, the same graph family the
+    // event-driven simulator consumes at the machine level.
+    const DepGraph graph = DepGraph::fromIr(prog, deps);
+    std::vector<uint32_t> preds = graph.indegrees();
 
-    // Critical-path priority: longest latency path to any sink,
-    // computed over the reverse topological order (ids are topological
-    // in SSA construction order).
-    std::vector<double> prio(n, 0.0);
-    for (size_t i = n; i-- > 0;) {
-        if (prog.insts[i].dead)
-            continue;
-        double best = 0.0;
-        for (int succ : succs[i])
-            best = std::max(best, prio[succ]);
-        prio[i] = best + estLatency(prog.insts[i]);
-    }
+    // Critical-path priority: longest latency path to any sink (node
+    // ids are topological in SSA construction order, which DepGraph
+    // edges preserve). Dead instructions have no edges and latency 0.
+    std::vector<double> latency(n, 0.0);
+    for (size_t i = 0; i < n; ++i)
+        if (!prog.insts[i].dead)
+            latency[i] = estLatency(prog.insts[i]);
+    const std::vector<double> prio = graph.criticalPath(latency);
 
     // Windowed list scheduling: ready instructions ordered by priority,
     // but reordering is confined to a sliding window over the original
@@ -125,7 +110,8 @@ runScheduler(const IrProgram &prog,
         while (scheduled_floor < n &&
                (prog.insts[scheduled_floor].dead || done[scheduled_floor]))
             ++scheduled_floor;
-        for (int succ : succs[idx]) {
+        for (const DepEdge &e : graph.succs(static_cast<size_t>(idx))) {
+            const int succ = e.other;
             if (--preds[succ] == 0 && !prog.insts[succ].dead &&
                 static_cast<size_t>(succ) < next_release &&
                 !released[succ]) {

@@ -70,6 +70,23 @@ struct MachInst
     u64 imm = 0;          ///< automorphism Galois element, etc.
     u64 hbmAddr = 0;      ///< HBM address for LOAD/STORE/stream fill
     int irId = -1;        ///< originating IR value (debug/stats)
+
+    // --- Edge accessors (dependence construction / resource decode) ----
+
+    /** True iff `o` is a streaming operand fed straight from DRAM. */
+    static bool dramStream(const Operand &o)
+    {
+        return o.kind == OperandKind::Stream && o.dram;
+    }
+
+    /** Defines its destination register/FIFO token (stores do not). */
+    bool writesDest() const { return op != Opcode::STORE_RES; }
+
+    /** Number of source operands streaming from DRAM (0, 1 or 2). */
+    int dramStreamSources() const
+    {
+        return (dramStream(src0) ? 1 : 0) + (dramStream(src1) ? 1 : 0);
+    }
 };
 
 /** A compiled machine program plus metadata the simulator needs. */

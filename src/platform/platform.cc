@@ -6,6 +6,7 @@ Platform::Platform(HardwareConfig hw, CompilerOptions copts)
     : hw_(std::move(hw)), copts_(copts)
 {
     copts_.sramBytes = hw_.sramBytes;
+    copts_.issueWindow = hw_.issueWindow;
 }
 
 PlatformResult

@@ -5,6 +5,11 @@
  * function-unit classes; SRAM-resident operands are free, streaming
  * operands occupy HBM bandwidth concurrently with execution; LOAD/STORE
  * and streaming fills compete for the same HBM channels (Sec. IV-D1).
+ *
+ * The issue core is event-driven: dependences come from the shared
+ * `DepGraph` layer (sched/depgraph.h), readiness is tracked with
+ * indegree counters and wake-up lists, and the FU/HBM occupancy rules
+ * live in `ResourceModel` (sim/resources.h).
  */
 #ifndef EFFACT_SIM_MACHINE_H
 #define EFFACT_SIM_MACHINE_H
@@ -37,6 +42,14 @@ class Simulator
 
     /** Runs the program to completion and reports timing/utilization. */
     SimReport run(const MachineProgram &prog) const;
+
+    /**
+     * The legacy O(n * window) rescan issue loop, cycle-equivalent to
+     * `run()`. Kept as the differential-testing oracle and as the
+     * before/after baseline for `bench_sim_speed`; new code should use
+     * `run()`.
+     */
+    SimReport runReference(const MachineProgram &prog) const;
 
     const HardwareConfig &config() const { return cfg_; }
 

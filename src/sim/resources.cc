@@ -1,0 +1,139 @@
+#include "sim/resources.h"
+
+#include <algorithm>
+
+#include "common/bitops.h"
+
+namespace effact {
+
+ResourceModel::ResourceModel(const HardwareConfig &cfg,
+                             size_t residue_bytes)
+    : cfg_(cfg), residue_bytes_(residue_bytes)
+{
+    const size_t n_coeff = residue_bytes / 8;
+    ew_cycles_ = double(ceilDiv(n_coeff, cfg_.lanes));
+    ntt_cycles_ =
+        double(n_coeff) * log2Floor(n_coeff) / 2.0 / double(cfg_.lanes);
+    mem_cycles_ = double(residue_bytes) / cfg_.hbmBytesPerCycle();
+
+    fu_free_[FU_NTT].assign(std::max<size_t>(cfg_.nttUnits, 1), 0.0);
+    fu_free_[FU_MUL].assign(std::max<size_t>(cfg_.mulUnits, 1), 0.0);
+    fu_free_[FU_ADD].assign(std::max<size_t>(cfg_.addUnits, 1), 0.0);
+    fu_free_[FU_AUTO].assign(std::max<size_t>(cfg_.autoUnits, 1), 0.0);
+}
+
+InstShape
+ResourceModel::decode(const MachInst &mi) const
+{
+    InstShape s;
+    const int dram_srcs = mi.dramStreamSources();
+    s.stream_fill = dram_srcs >= 1;
+    s.dual_dram = dram_srcs == 2;
+    switch (mi.op) {
+      case Opcode::LOAD_RES:
+      case Opcode::STORE_RES:
+        s.fu_class = -1; // pure memory op: occupies the HBM channel only
+        return s;
+      case Opcode::NTT:
+      case Opcode::INTT:
+        s.fu_class = FU_NTT;
+        s.occupancy = ntt_cycles_;
+        return s;
+      case Opcode::MMUL:
+        s.fu_class = FU_MUL;
+        break;
+      case Opcode::MMAC:
+        // Circuit-level reuse (Sec. III-2): MACs run on the NTT units'
+        // MAC data path when that frees up earlier.
+        s.fu_class = FU_MUL;
+        s.mac = true;
+        break;
+      case Opcode::AUTO:
+        s.fu_class = FU_AUTO;
+        break;
+      default: // MMAD, MSUB, VEC_COPY
+        s.fu_class = FU_ADD;
+        break;
+    }
+    s.occupancy = ew_cycles_;
+    return s;
+}
+
+void
+ResourceModel::bind(const MachineProgram &prog)
+{
+    shapes_.clear();
+    shapes_.reserve(prog.insts.size());
+    for (const MachInst &mi : prog.insts)
+        shapes_.push_back(decode(mi));
+}
+
+IssuePlan
+ResourceModel::plan(const InstShape &shape, double data_ready) const
+{
+    IssuePlan p;
+    if (shape.fu_class < 0) {
+        p.uses_dram = true;
+        p.dram_cycles = mem_cycles_;
+        p.start = std::max(data_ready, hbm_free_);
+        p.occupancy = mem_cycles_;
+        return p;
+    }
+    int cls = shape.fu_class;
+    if (shape.mac && cfg_.nttMacReuse && fu_min_[FU_NTT] < fu_min_[FU_MUL])
+        cls = FU_NTT;
+    p.fu_class = cls;
+    p.fu_inst = fu_argmin_[cls];
+    p.start = std::max(data_ready, fu_min_[cls]);
+    p.occupancy = shape.occupancy;
+    if (shape.stream_fill) {
+        // The streaming fill competes for HBM and overlaps with
+        // execution (data consumed on arrival, Sec. IV-C).
+        p.uses_dram = true;
+        p.dram_cycles = mem_cycles_;
+        p.start = std::max(p.start, hbm_free_);
+        p.occupancy = std::max(p.occupancy, mem_cycles_);
+    }
+    return p;
+}
+
+double
+ResourceModel::commit(const InstShape &shape, const IssuePlan &p)
+{
+    const double finish = p.start + p.occupancy + kStartupCycles;
+    if (p.uses_dram) {
+        hbm_free_ = p.start + p.dram_cycles;
+        hbm_busy_ += p.dram_cycles;
+        dram_bytes_ += double(residue_bytes_);
+    }
+    if (p.fu_class >= 0) {
+        fu_free_[p.fu_class][p.fu_inst] = p.start + p.occupancy;
+        busy_[p.fu_class] += p.occupancy;
+        refreshMin(p.fu_class);
+    }
+    // Instructions with two DRAM-streamed operands move two residues.
+    if (shape.dual_dram) {
+        hbm_free_ += mem_cycles_;
+        hbm_busy_ += mem_cycles_;
+        dram_bytes_ += double(residue_bytes_);
+    }
+    return finish;
+}
+
+void
+ResourceModel::refreshMin(int fu_class)
+{
+    const std::vector<double> &f = fu_free_[fu_class];
+    double best = f[0];
+    int arg = 0;
+    for (size_t u = 1; u < f.size(); ++u) {
+        if (f[u] < best) {
+            best = f[u];
+            arg = static_cast<int>(u);
+        }
+    }
+    fu_min_[fu_class] = best;
+    fu_argmin_[fu_class] = arg;
+}
+
+} // namespace effact

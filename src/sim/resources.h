@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Resource model of the EFFACT microarchitecture, split out of the
+ * issue loop so function-unit classes, the MAC-on-NTT circuit reuse
+ * (Sec. III-2) and streaming HBM overlap (Sec. IV-C) are testable in
+ * isolation from issue-order policy. The simulator asks `plan()` what
+ * issuing an instruction *would* cost under the current occupancy and
+ * `commit()`s the chosen plan; the model tracks per-unit free times,
+ * the HBM channel, and busy/traffic counters for the report.
+ */
+#ifndef EFFACT_SIM_RESOURCES_H
+#define EFFACT_SIM_RESOURCES_H
+
+#include <cstddef>
+#include <vector>
+
+#include "isa/isa.h"
+#include "sim/config.h"
+
+namespace effact {
+
+/** Function-unit classes. */
+enum FuClass { FU_NTT = 0, FU_MUL, FU_ADD, FU_AUTO, FU_CLASSES };
+
+/**
+ * Static shape of one instruction: everything the resource model needs
+ * that does not depend on the machine state. Decoded once per
+ * instruction instead of on every issue-candidate evaluation.
+ */
+struct InstShape
+{
+    int fu_class = -1;      ///< FuClass, or -1 for pure memory ops
+    double occupancy = 0.0; ///< FU occupancy in cycles
+    bool mac = false;       ///< may steer to the NTT units' MAC path
+    bool stream_fill = false; ///< >=1 source streams from DRAM
+    bool dual_dram = false;   ///< both sources stream from DRAM
+};
+
+/** A committed or prospective issue slot. */
+struct IssuePlan
+{
+    double start = 0.0;
+    double occupancy = 0.0;
+    double dram_cycles = 0.0;
+    int fu_class = -1; ///< -1 for pure memory ops
+    int fu_inst = -1;
+    bool uses_dram = false;
+};
+
+class ResourceModel
+{
+  public:
+    /** Pipeline fill latency added to every instruction's finish. */
+    static constexpr double kStartupCycles = 16.0;
+
+    ResourceModel(const HardwareConfig &cfg, size_t residue_bytes);
+
+    /** Decodes the state-independent shape of one instruction. */
+    InstShape decode(const MachInst &mi) const;
+
+    /** Caches decoded shapes for every instruction of `prog` so the
+     *  index-based `plan`/`commit` overloads can be used. */
+    void bind(const MachineProgram &prog);
+
+    /** Cached shape of instruction `i` (valid after `bind`). */
+    const InstShape &shape(size_t i) const { return shapes_[i]; }
+
+    /**
+     * Cost of issuing `shape` once its operands are ready at
+     * `data_ready`, under current occupancy: picks the earliest-free
+     * unit of the class (steering MACs to an idler NTT unit when
+     * enabled), serializes on the HBM channel for loads/stores and
+     * streaming fills, and overlaps a streaming fill with execution.
+     */
+    IssuePlan plan(const InstShape &shape, double data_ready) const;
+    IssuePlan plan(size_t i, double data_ready) const
+    {
+        return plan(shapes_[i], data_ready);
+    }
+
+    /**
+     * Commits `p`: occupies the chosen unit, advances the HBM channel
+     * (dual-DRAM-operand instructions move two residues), and accrues
+     * busy/traffic counters. Returns the finish time, which includes
+     * the pipeline startup latency.
+     */
+    double commit(const InstShape &shape, const IssuePlan &p);
+    double commit(size_t i, const IssuePlan &p)
+    {
+        return commit(shapes_[i], p);
+    }
+
+    // --- Model constants and state, for reports and tests ---------------
+    double ewCycles() const { return ew_cycles_; }
+    double nttCycles() const { return ntt_cycles_; }
+    double memCycles() const { return mem_cycles_; }
+    double hbmFree() const { return hbm_free_; }
+    double hbmBusy() const { return hbm_busy_; }
+    double dramBytes() const { return dram_bytes_; }
+    double busy(int fu_class) const { return busy_[fu_class]; }
+    double fuFreeMin(int fu_class) const { return fu_min_[fu_class]; }
+    const HardwareConfig &config() const { return cfg_; }
+
+  private:
+    void refreshMin(int fu_class);
+
+    HardwareConfig cfg_;
+    size_t residue_bytes_ = 0;
+    double ew_cycles_ = 0.0;
+    double ntt_cycles_ = 0.0;
+    double mem_cycles_ = 0.0;
+
+    std::vector<double> fu_free_[FU_CLASSES]; ///< per-unit next-free time
+    double fu_min_[FU_CLASSES] = {0, 0, 0, 0};
+    int fu_argmin_[FU_CLASSES] = {0, 0, 0, 0};
+    double busy_[FU_CLASSES] = {0, 0, 0, 0};
+    double hbm_free_ = 0.0;
+    double hbm_busy_ = 0.0;
+    double dram_bytes_ = 0.0;
+
+    std::vector<InstShape> shapes_;
+};
+
+} // namespace effact
+
+#endif // EFFACT_SIM_RESOURCES_H

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * DepGraph tests: machine-level true (register + FIFO-token) and anti
+ * (WAW) edges, IR-level operand and memory-alias edges, indegrees and
+ * critical-path priorities.
+ */
+#include <gtest/gtest.h>
+
+#include "compiler/pass.h"
+#include "ir/builder.h"
+#include "sched/depgraph.h"
+
+namespace effact {
+namespace {
+
+MachInst
+compute(Opcode op, Operand dest, Operand src0,
+        Operand src1 = Operand::none())
+{
+    MachInst mi;
+    mi.op = op;
+    mi.dest = dest;
+    mi.src0 = src0;
+    mi.src1 = src1;
+    return mi;
+}
+
+/** Collects (from, to, kind) triples through the succ ranges. */
+std::vector<std::tuple<int, int, DepKind>>
+allEdges(const DepGraph &g)
+{
+    std::vector<std::tuple<int, int, DepKind>> out;
+    for (size_t i = 0; i < g.size(); ++i)
+        for (const DepEdge &e : g.succs(i))
+            out.emplace_back(static_cast<int>(i), e.other, e.kind);
+    return out;
+}
+
+TEST(DepGraphMachine, RegisterTrueDependences)
+{
+    MachineProgram mp;
+    mp.residueBytes = 1 << 12;
+    MachInst ld;
+    ld.op = Opcode::LOAD_RES;
+    ld.dest = Operand::regOp(0);
+    mp.insts.push_back(ld);                                         // 0
+    mp.insts.push_back(compute(Opcode::NTT, Operand::regOp(1),
+                               Operand::regOp(0)));                 // 1
+    MachInst st;
+    st.op = Opcode::STORE_RES;
+    st.src0 = Operand::regOp(1);
+    mp.insts.push_back(st);                                         // 2
+
+    DepGraph g = DepGraph::fromMachine(mp);
+    auto edges = allEdges(g);
+    ASSERT_EQ(edges.size(), 2u);
+    EXPECT_EQ(edges[0], std::make_tuple(0, 1, DepKind::True));
+    EXPECT_EQ(edges[1], std::make_tuple(1, 2, DepKind::True));
+    auto indeg = g.indegrees();
+    EXPECT_EQ(indeg[0], 0u);
+    EXPECT_EQ(indeg[1], 1u);
+    EXPECT_EQ(indeg[2], 1u);
+}
+
+TEST(DepGraphMachine, FifoTokenDependence)
+{
+    MachineProgram mp;
+    mp.residueBytes = 1 << 12;
+    mp.insts.push_back(compute(Opcode::MMUL, Operand::stream(7),
+                               Operand::regOp(0), Operand::regOp(1)));
+    mp.insts.push_back(compute(Opcode::MMAD, Operand::regOp(2),
+                               Operand::stream(7), Operand::regOp(1)));
+
+    DepGraph g = DepGraph::fromMachine(mp);
+    auto edges = allEdges(g);
+    ASSERT_EQ(edges.size(), 1u);
+    EXPECT_EQ(edges[0], std::make_tuple(0, 1, DepKind::True));
+}
+
+TEST(DepGraphMachine, DramStreamSourceHasNoProducer)
+{
+    MachineProgram mp;
+    mp.residueBytes = 1 << 12;
+    // A DRAM-fed streaming operand comes from memory, not from another
+    // instruction: no edge even if a FIFO token would match.
+    mp.insts.push_back(compute(Opcode::MMUL, Operand::stream(3),
+                               Operand::regOp(0), Operand::regOp(1)));
+    mp.insts.push_back(compute(Opcode::MMUL, Operand::regOp(2),
+                               Operand::stream(3, /*from_dram=*/true),
+                               Operand::regOp(1)));
+
+    DepGraph g = DepGraph::fromMachine(mp);
+    EXPECT_EQ(g.edgeCount(), 0u);
+}
+
+TEST(DepGraphMachine, RegisterReuseCreatesAntiEdge)
+{
+    MachineProgram mp;
+    mp.residueBytes = 1 << 12;
+    mp.insts.push_back(compute(Opcode::MMUL, Operand::regOp(0),
+                               Operand::regOp(1), Operand::regOp(2)));
+    mp.insts.push_back(compute(Opcode::MMAD, Operand::regOp(3),
+                               Operand::regOp(0), Operand::regOp(1)));
+    // Reuses r0: anti edge from the previous writer (inst 0).
+    mp.insts.push_back(compute(Opcode::MMUL, Operand::regOp(0),
+                               Operand::regOp(2), Operand::regOp(1)));
+
+    DepGraph g = DepGraph::fromMachine(mp);
+    auto edges = allEdges(g);
+    ASSERT_EQ(edges.size(), 2u);
+    EXPECT_EQ(edges[0], std::make_tuple(0, 1, DepKind::True));
+    EXPECT_EQ(edges[1], std::make_tuple(0, 2, DepKind::Anti));
+}
+
+TEST(DepGraphMachine, StoreDoesNotDefineItsOperand)
+{
+    MachineProgram mp;
+    mp.residueBytes = 1 << 12;
+    MachInst st;
+    st.op = Opcode::STORE_RES;
+    st.src0 = Operand::regOp(0);
+    st.dest = Operand::regOp(0); // stores write memory, not registers
+    mp.insts.push_back(st);
+    mp.insts.push_back(compute(Opcode::NTT, Operand::regOp(1),
+                               Operand::regOp(0)));
+
+    DepGraph g = DepGraph::fromMachine(mp);
+    // The NTT's source resolves to no producer (live-in register), and
+    // the store contributes no anti edge.
+    EXPECT_EQ(g.edgeCount(), 0u);
+}
+
+TEST(DepGraphMachine, DuplicateSourceCountsTwice)
+{
+    MachineProgram mp;
+    mp.residueBytes = 1 << 12;
+    mp.insts.push_back(compute(Opcode::MMUL, Operand::regOp(0),
+                               Operand::regOp(1), Operand::regOp(2)));
+    // Squaring: both sources are the same value; the indegree counts
+    // both edges so the wake-up countdown stays consistent.
+    mp.insts.push_back(compute(Opcode::MMUL, Operand::regOp(3),
+                               Operand::regOp(0), Operand::regOp(0)));
+
+    DepGraph g = DepGraph::fromMachine(mp);
+    EXPECT_EQ(g.edgeCount(), 2u);
+    EXPECT_EQ(g.indegrees()[1], 2u);
+}
+
+TEST(DepGraphIr, OperandAndAliasEdges)
+{
+    IrProgram prog;
+    prog.degree = 1 << 10;
+    IrBuilder b(prog);
+    int buf = b.object("buf", 1, false);
+    PolyVal l1 = b.load(buf, 0, 1);             // 0
+    PolyVal m = b.mulImm(l1, 3);                // 1
+    b.store(buf, 0, m);                         // 2
+    PolyVal l2 = b.load(buf, 0, 1);             // 3 (RAW on the store)
+    b.store(buf, 0, b.mulImm(l2, 5));           // 4, 5
+
+    StatSet stats;
+    auto mem = runAliasAnalysis(prog, stats);
+    DepGraph g = DepGraph::fromIr(prog, mem);
+
+    // SSA operand edges: 0->1, 1->2, 3->4, 4->5.
+    bool saw_alias = false;
+    for (size_t i = 0; i < g.size(); ++i)
+        for (const DepEdge &e : g.succs(i))
+            saw_alias |= e.kind == DepKind::MemAlias;
+    EXPECT_TRUE(saw_alias);
+    EXPECT_EQ(g.edgeCount(), 4u + mem.size());
+    // The second load waits for the first store via the alias edge.
+    bool store_to_load = false;
+    for (const DepEdge &e : g.succs(2))
+        store_to_load |= e.other == 3 && e.kind == DepKind::MemAlias;
+    EXPECT_TRUE(store_to_load);
+}
+
+TEST(DepGraphIr, DeadInstructionsAreIsolated)
+{
+    IrProgram prog;
+    prog.degree = 1 << 10;
+    IrBuilder b(prog);
+    int in = b.object("in", 1, false);
+    int out = b.object("out", 1, false);
+    PolyVal a = b.load(in, 0, 1);
+    PolyVal m = b.mulImm(a, 3);
+    b.store(out, 0, m);
+    prog.insts[m.limbs[0]].dead = true;
+    prog.insts[2].dead = true; // the store
+
+    DepGraph g = DepGraph::fromIr(prog, {});
+    EXPECT_EQ(g.edgeCount(), 0u);
+}
+
+TEST(DepGraph, CriticalPathPriorities)
+{
+    // Chain 0 -> 1 -> 2 with latencies 2, 3, 5 plus a free node 3.
+    IrProgram prog;
+    prog.degree = 1 << 10;
+    IrBuilder b(prog);
+    int in = b.object("in", 2, false);
+    PolyVal a = b.load(in, 0, 1);                // 0
+    PolyVal m = b.mulImm(a, 3);                  // 1
+    int out = b.object("out", 1, false);
+    b.store(out, 0, m);                          // 2
+    b.load(in, 1, 1);                            // 3 (independent)
+
+    DepGraph g = DepGraph::fromIr(prog, {});
+    std::vector<double> lat = {2.0, 3.0, 5.0, 7.0};
+    auto prio = g.criticalPath(lat);
+    EXPECT_DOUBLE_EQ(prio[2], 5.0);
+    EXPECT_DOUBLE_EQ(prio[1], 8.0);
+    EXPECT_DOUBLE_EQ(prio[0], 10.0);
+    EXPECT_DOUBLE_EQ(prio[3], 7.0);
+}
+
+} // namespace
+} // namespace effact

@@ -49,6 +49,16 @@ TEST_P(OptionMatrix, EveryPassComboSimulates)
         EXPECT_GE(u, 0.0);
         EXPECT_LE(u, 1.0 + 1e-9);
     }
+
+    // The event-driven issue core must reproduce the legacy rescan
+    // loop under every pass combination.
+    Workload w2 = tinyWorkload();
+    Compiler compiler(opts);
+    MachineProgram mp = compiler.compile(w2.program);
+    SimReport ev = Simulator(hw).run(mp);
+    SimReport ref = Simulator(hw).runReference(mp);
+    EXPECT_DOUBLE_EQ(ev.cycles, ref.cycles);
+    EXPECT_DOUBLE_EQ(ev.dramBytes, ref.dramBytes);
 }
 
 INSTANTIATE_TEST_SUITE_P(AllCombos, OptionMatrix, ::testing::Range(0, 16));

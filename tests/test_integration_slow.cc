@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Paper-scale integration sweeps (logN = 16, L = 24 — the Table III
+ * operating point): compile-and-simulate at full size across pass
+ * combinations and design points, and pin the event-driven simulator
+ * against the legacy rescan loop on the full bootstrapping trace.
+ *
+ * Registered with the `slow` CTest label and configuration so the
+ * default `ctest` run stays fast: run with `ctest -C slow -L slow`.
+ */
+#include <gtest/gtest.h>
+
+#include "platform/platform.h"
+
+namespace effact {
+namespace {
+
+FheParams
+paperFhe()
+{
+    return FheParams{}; // logN=16, L=24, dnum=4, lanes=1024
+}
+
+TEST(PaperScale, BootstrappingCompilesAndSimulates)
+{
+    Workload w = buildBootstrapping(paperFhe());
+    HardwareConfig hw = HardwareConfig::asicEffact27();
+    Platform platform(hw, Platform::fullOptions(hw.sramBytes));
+    PlatformResult r = platform.run(w);
+
+    // Paper-scale programs are ~100k+ machine instructions.
+    EXPECT_GT(r.sim.instructions, size_t(50) << 10);
+    EXPECT_GT(r.sim.cycles, 0.0);
+    EXPECT_GT(r.amortizedUs, 0.0);
+    for (double u : {r.sim.dramUtil, r.sim.nttUtil, r.sim.mulAddUtil,
+                     r.sim.autoUtil}) {
+        EXPECT_GE(u, 0.0);
+        EXPECT_LE(u, 1.0 + 1e-9);
+    }
+}
+
+TEST(PaperScale, EventCoreMatchesLegacyLoopOnFullTrace)
+{
+    Workload w = buildBootstrapping(paperFhe());
+    HardwareConfig hw = HardwareConfig::asicEffact27();
+    Compiler compiler(Platform::fullOptions(hw.sramBytes));
+    MachineProgram mp = compiler.compile(w.program);
+
+    Simulator sim(hw);
+    SimReport ev = sim.run(mp);
+    SimReport ref = sim.runReference(mp);
+    EXPECT_DOUBLE_EQ(ev.cycles, ref.cycles);
+    EXPECT_DOUBLE_EQ(ev.dramBytes, ref.dramBytes);
+    EXPECT_DOUBLE_EQ(ev.dramUtil, ref.dramUtil);
+    EXPECT_DOUBLE_EQ(ev.nttUtil, ref.nttUtil);
+    EXPECT_DOUBLE_EQ(ev.mulAddUtil, ref.mulAddUtil);
+    EXPECT_DOUBLE_EQ(ev.autoUtil, ref.autoUtil);
+}
+
+/** Ablation corners of {pre, peephole, schedule, streaming}. */
+class PaperScaleOptions : public ::testing::TestWithParam<int> {};
+
+TEST_P(PaperScaleOptions, CompilesSimulatesAndMatchesLegacy)
+{
+    const int mask = GetParam();
+    CompilerOptions opts;
+    opts.pre = mask & 1;
+    opts.peephole = mask & 2;
+    opts.schedule = mask & 4;
+    opts.streaming = mask & 8;
+
+    Workload w = buildBootstrapping(paperFhe());
+    Compiler compiler(opts);
+    MachineProgram mp = compiler.compile(w.program);
+    HardwareConfig hw = HardwareConfig::asicEffact27();
+    SimReport ev = Simulator(hw).run(mp);
+    SimReport ref = Simulator(hw).runReference(mp);
+    EXPECT_GT(ev.cycles, 0.0);
+    EXPECT_DOUBLE_EQ(ev.cycles, ref.cycles);
+    EXPECT_DOUBLE_EQ(ev.dramBytes, ref.dramBytes);
+}
+
+// The corners: baseline, each axis alone, and everything on.
+INSTANTIATE_TEST_SUITE_P(Corners, PaperScaleOptions,
+                         ::testing::Values(0, 1, 2, 4, 8, 15));
+
+/** All design points run the full-size trace to completion. */
+class PaperScaleDesignPoints : public ::testing::TestWithParam<int> {};
+
+TEST_P(PaperScaleDesignPoints, RunsFullBootstrapping)
+{
+    HardwareConfig hw;
+    switch (GetParam()) {
+      case 0: hw = HardwareConfig::asicEffact27(); break;
+      case 1: hw = HardwareConfig::asicEffact54(); break;
+      case 2: hw = HardwareConfig::asicEffact108(); break;
+      case 3: hw = HardwareConfig::asicEffact162(); break;
+      default: hw = HardwareConfig::fpgaEffact(); break;
+    }
+    Workload w = buildBootstrapping(paperFhe());
+    Platform p(hw, Platform::fullOptions(hw.sramBytes));
+    PlatformResult r = p.run(w);
+    EXPECT_GT(r.benchTimeMs, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, PaperScaleDesignPoints,
+                         ::testing::Range(0, 5));
+
+} // namespace
+} // namespace effact

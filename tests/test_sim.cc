@@ -200,6 +200,100 @@ TEST(Simulator, UtilizationsAreFractions)
     EXPECT_GT(r.cycles, 0.0);
 }
 
+// --- Event-driven core vs the legacy rescan loop ------------------------
+
+/** The event-driven issue core must reproduce the legacy loop exactly. */
+void
+expectEquivalent(const HardwareConfig &hw, const MachineProgram &mp)
+{
+    Simulator sim(hw);
+    SimReport ev = sim.run(mp);
+    SimReport ref = sim.runReference(mp);
+    EXPECT_DOUBLE_EQ(ev.cycles, ref.cycles);
+    EXPECT_DOUBLE_EQ(ev.dramBytes, ref.dramBytes);
+    EXPECT_DOUBLE_EQ(ev.dramUtil, ref.dramUtil);
+    EXPECT_DOUBLE_EQ(ev.nttUtil, ref.nttUtil);
+    EXPECT_DOUBLE_EQ(ev.mulAddUtil, ref.mulAddUtil);
+    EXPECT_DOUBLE_EQ(ev.autoUtil, ref.autoUtil);
+    EXPECT_EQ(ev.instructions, ref.instructions);
+}
+
+TEST(SimulatorEquivalence, HandBuiltPrograms)
+{
+    HardwareConfig hw = HardwareConfig::asicEffact27();
+    const size_t n = size_t(1) << 16;
+    expectEquivalent(hw, loadComputeStore(n * 8));
+
+    MachineProgram fifo;
+    fifo.residueBytes = n * 8;
+    MachInst prod;
+    prod.op = Opcode::MMUL;
+    prod.dest = Operand::stream(7);
+    prod.src0 = Operand::regOp(0);
+    prod.src1 = Operand::regOp(1);
+    fifo.insts.push_back(prod);
+    MachInst cons;
+    cons.op = Opcode::MMAD;
+    cons.dest = Operand::regOp(2);
+    cons.src0 = Operand::stream(7);
+    cons.src1 = Operand::regOp(1);
+    fifo.insts.push_back(cons);
+    expectEquivalent(hw, fifo);
+
+    MachineProgram macs;
+    macs.residueBytes = n * 8;
+    for (int i = 0; i < 8; ++i) {
+        MachInst mi;
+        mi.op = Opcode::MMAC;
+        mi.dest = Operand::regOp(8 + i);
+        mi.src0 = Operand::regOp(0);
+        mi.src1 = Operand::regOp(1);
+        macs.insts.push_back(mi);
+    }
+    expectEquivalent(hw, macs);
+    hw.nttMacReuse = false;
+    expectEquivalent(hw, macs);
+}
+
+TEST(SimulatorEquivalence, CompiledBootstrapAcrossConfigs)
+{
+    FheParams fhe;
+    fhe.logN = 14;
+    fhe.levels = 16;
+    fhe.dnum = 4;
+    Workload w = buildBootstrapping(fhe, {256, 2, 2, 63, 8});
+    Compiler compiler;
+    MachineProgram mp = compiler.compile(w.program);
+
+    for (HardwareConfig hw :
+         {HardwareConfig::asicEffact27(), HardwareConfig::asicEffact162(),
+          HardwareConfig::fpgaEffact()})
+        expectEquivalent(hw, mp);
+
+    HardwareConfig inorder = HardwareConfig::asicEffact27();
+    inorder.issueWindow = 1;
+    expectEquivalent(inorder, mp);
+    HardwareConfig wide = HardwareConfig::asicEffact27();
+    wide.issueWindow = 4096; // wider than the program: no boundary
+    expectEquivalent(wide, mp);
+}
+
+TEST(SimulatorEquivalence, TightSramSpillingProgram)
+{
+    FheParams fhe;
+    fhe.logN = 14;
+    fhe.levels = 16;
+    fhe.dnum = 4;
+    Workload w = buildBootstrapping(fhe, {256, 2, 2, 63, 8});
+    CompilerOptions tight;
+    tight.sramBytes = size_t(2) << 20;
+    Compiler compiler(tight);
+    MachineProgram mp = compiler.compile(w.program);
+    HardwareConfig hw = HardwareConfig::asicEffact27();
+    hw.sramBytes = tight.sramBytes;
+    expectEquivalent(hw, mp);
+}
+
 TEST(Simulator, InOrderWindowOneIsSlower)
 {
     FheParams fhe;
