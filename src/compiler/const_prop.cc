@@ -2,7 +2,7 @@
 
 namespace effact {
 
-void
+size_t
 runConstProp(IrProgram &prog, StatSet &stats)
 {
     // Identity folding on immediates: x*1 -> x, x+0 -> x, and chained
@@ -24,10 +24,9 @@ runConstProp(IrProgram &prog, StatSet &stats)
         IrInst &inst = prog.insts[i];
         if (inst.dead)
             continue;
-        if (inst.a >= 0)
-            inst.a = resolve(inst.a);
-        if (inst.b >= 0)
-            inst.b = resolve(inst.b);
+        for (int *slot : inst.operandSlots())
+            if (*slot >= 0)
+                *slot = resolve(*slot);
         if (!inst.useImm)
             continue;
         if (inst.op == IrOp::Mul && inst.imm == 1) {
@@ -58,6 +57,7 @@ runConstProp(IrProgram &prog, StatSet &stats)
     }
     stats.add("constProp.identityFolded", double(folded));
     stats.add("constProp.immChained", double(chained));
+    return folded + chained;
 }
 
 } // namespace effact

@@ -2,7 +2,7 @@
 
 namespace effact {
 
-void
+size_t
 runCopyProp(IrProgram &prog, StatSet &stats)
 {
     // Union-find style forwarding: a Copy's value is its source's value.
@@ -21,10 +21,9 @@ runCopyProp(IrProgram &prog, StatSet &stats)
         IrInst &inst = prog.insts[i];
         if (inst.dead)
             continue;
-        if (inst.a >= 0)
-            inst.a = resolve(inst.a);
-        if (inst.b >= 0)
-            inst.b = resolve(inst.b);
+        for (int *slot : inst.operandSlots())
+            if (*slot >= 0)
+                *slot = resolve(*slot);
         if (inst.op == IrOp::Copy) {
             fwd[i] = inst.a;
             inst.dead = true;
@@ -32,6 +31,7 @@ runCopyProp(IrProgram &prog, StatSet &stats)
         }
     }
     stats.add("copyProp.removed", double(removed));
+    return removed;
 }
 
 } // namespace effact

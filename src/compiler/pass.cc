@@ -1,6 +1,7 @@
 #include "compiler/pass.h"
 
 #include "common/logging.h"
+#include "compiler/pass_manager.h"
 
 namespace effact {
 
@@ -11,17 +12,20 @@ Compiler::compile(IrProgram &prog)
     const size_t before = prog.liveCount();
     stats_.set("input.instructions", double(before));
 
-    if (opts_.copyProp)
-        runCopyProp(prog, stats_);
-    if (opts_.constProp)
-        runConstProp(prog, stats_);
-    if (opts_.pre)
-        runPre(prog, stats_);
-    if (opts_.peephole) {
-        runPeephole(prog, stats_);
-        // The Eq. 5 fold leaves Copies behind; clean them up.
-        runCopyProp(prog, stats_);
-    }
+    // SSA optimizations: a declarative pipeline run to a bounded fixed
+    // point. The repeat subsumes the old special-cased "copy-prop again
+    // after the Eq. 5 peephole" cleanup and catches any second-order
+    // reductions one sweep misses.
+    AnalysisManager analyses;
+    PassManager pipeline = PassManager::fromSpec(
+        opts_.pipeline.empty() ? pipelineSpecFromOptions(opts_)
+                               : opts_.pipeline);
+    pipeline.setMaxIterations(opts_.pipelineMaxIterations);
+    pipeline.run(prog, analyses, stats_);
+    EFFACT_ASSERT(pipeline.converged(),
+                  "optimization pipeline '%s' did not converge in %zu "
+                  "sweeps",
+                  pipeline.spec().c_str(), pipeline.maxIterations());
     prog.compact();
 
     const size_t after = prog.liveCount();
@@ -31,8 +35,7 @@ Compiler::compile(IrProgram &prog)
                            : 100.0 * double(before - after) /
                                  double(before));
 
-    auto mem_deps = runAliasAnalysis(prog, stats_);
-    auto order = runScheduler(prog, mem_deps, opts_.schedule, stats_);
+    auto order = runScheduler(prog, analyses, opts_.schedule, stats_);
     auto streaming = runStreaming(prog, order, opts_.streaming,
                                   opts_.fifoDepth, stats_);
     MachineProgram mp = runRegAllocAndCodegen(prog, order, streaming,

@@ -20,6 +20,23 @@ struct CompilerOptions
     bool constProp = true;
     bool pre = true;       ///< partial redundancy elimination (CSE/VN)
     bool peephole = true;  ///< computation merge (MAC fusion, Eq. 5 fold)
+    /**
+     * Declarative optimization pipeline, a comma-separated pass-name
+     * spec (e.g. `"copyprop,constprop,pre,peephole"`). When empty the
+     * pipeline is derived from the four switches above
+     * (`pipelineSpecFromOptions`); when set it overrides them. The
+     * pipeline runs to a bounded fixed point (see `PassManager`).
+     */
+    std::string pipeline;
+    /**
+     * Fixed-point sweep bound for the optimization pipeline; compile
+     * panics if it has not converged within this many sweeps. A guard
+     * against non-monotone pass bugs, set generously: rewrite chains
+     * (e.g. stacked single-use scale multiplies folding one link per
+     * sweep) legitimately take many sweeps, and quiescent sweeps cost
+     * almost nothing under the version-skip.
+     */
+    size_t pipelineMaxIterations = 64;
     bool schedule = true;  ///< global list scheduling (off = program order)
     bool streaming = true; ///< streaming memory access (Sec. IV-C)
     size_t sramBytes = size_t(27) << 20; ///< on-chip SRAM capacity
@@ -30,22 +47,25 @@ struct CompilerOptions
     size_t issueWindow = 64;
 };
 
-// --- Individual passes (each returns its statistics) ----------------------
+// --- Individual passes ----------------------------------------------------
+// Each records detailed statistics and returns its total number of
+// rewrites, so the pass-manager layer can detect change (and keep
+// cached analyses sound) without duplicating the passes' stat keys.
 
 /** Copy propagation: removes VecCopy chains. */
-void runCopyProp(IrProgram &prog, StatSet &stats);
+size_t runCopyProp(IrProgram &prog, StatSet &stats);
 
 /** Constant propagation/folding on immediate operands. */
-void runConstProp(IrProgram &prog, StatSet &stats);
+size_t runConstProp(IrProgram &prog, StatSet &stats);
 
 /** Value-numbering PRE: removes redundant computations and re-loads of
  *  read-only data (models on-chip key/constant reuse). */
-void runPre(IrProgram &prog, StatSet &stats);
+size_t runPre(IrProgram &prog, StatSet &stats);
 
 /** Peephole computation merge: MUL+ADD -> MAC (executed on reused NTT
  *  units, Sec. III-2) and iNTT 1/N post-scale folding into BConv
  *  constants (Eq. 5). */
-void runPeephole(IrProgram &prog, StatSet &stats);
+size_t runPeephole(IrProgram &prog, StatSet &stats);
 
 /**
  * Alias analysis (Sec. IV-B2): orders memory operations that may touch
@@ -54,13 +74,16 @@ void runPeephole(IrProgram &prog, StatSet &stats);
 std::vector<std::pair<int, int>> runAliasAnalysis(const IrProgram &prog,
                                                   StatSet &stats);
 
+class AnalysisManager; // pass_manager.h
+
 /**
  * Global list scheduling on the SSA + memory dependence graph using
- * critical-path priorities. Returns the instruction order.
+ * critical-path priorities. Consumes the cached `DepGraph` analysis
+ * (built on demand when `enabled`). Returns the instruction order.
  */
 std::vector<int> runScheduler(const IrProgram &prog,
-                              const std::vector<std::pair<int, int>> &deps,
-                              bool enabled, StatSet &stats);
+                              AnalysisManager &analyses, bool enabled,
+                              StatSet &stats);
 
 /** Streaming decision per value (Sec. IV-B3). */
 struct StreamingInfo

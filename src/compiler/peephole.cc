@@ -2,18 +2,18 @@
 
 namespace effact {
 
-void
+size_t
 runPeephole(IrProgram &prog, StatSet &stats)
 {
-    // Use counts (live instructions only).
+    // Use counts (live instructions only). `c` counts too: a value kept
+    // alive only as a Mac accumulator must not be fused away.
     std::vector<uint32_t> uses(prog.insts.size(), 0);
     for (const auto &inst : prog.insts) {
         if (inst.dead)
             continue;
-        if (inst.a >= 0)
-            ++uses[inst.a];
-        if (inst.b >= 0)
-            ++uses[inst.b];
+        for (int operand : inst.operands())
+            if (operand >= 0)
+                ++uses[operand];
     }
 
     size_t mac_fused = 0;
@@ -57,6 +57,11 @@ runPeephole(IrProgram &prog, StatSet &stats)
         // Rewrite 2 — Eq. 5 merge: Mul(imm) of an Intt result whose
         // only consumers are BConv-tagged multiplies gets folded into
         // the BConv constant (drop the explicit 1/N post-scale).
+        // Under fixed-point iteration this fires once per sweep on a
+        // chain of stacked single-use scales (copy-prop re-exposes the
+        // Intt each sweep) — intentional: every single-use scale of an
+        // (effective) iNTT result is absorbable into constants in this
+        // structural model, reductions the legacy single sweep missed.
         if (inst.op == IrOp::Mul && inst.useImm && inst.a >= 0) {
             IrInst &src = prog.insts[inst.a];
             if (!src.dead && src.op == IrOp::Intt &&
@@ -73,6 +78,7 @@ runPeephole(IrProgram &prog, StatSet &stats)
 
     stats.add("peephole.macFused", double(mac_fused));
     stats.add("peephole.inttScaleFolded", double(intt_folds));
+    return mac_fused + intt_folds;
 }
 
 } // namespace effact

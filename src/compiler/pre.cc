@@ -12,6 +12,7 @@ struct VnKey
     uint8_t op;
     int a;
     int b;
+    int c; ///< Mac accumulator (-1 otherwise)
     u64 imm;
     uint8_t use_imm;
     uint32_t modulus;
@@ -20,9 +21,10 @@ struct VnKey
 
     bool operator==(const VnKey &o) const
     {
-        return op == o.op && a == o.a && b == o.b && imm == o.imm &&
-               use_imm == o.use_imm && modulus == o.modulus &&
-               mem_obj == o.mem_obj && mem_idx == o.mem_idx;
+        return op == o.op && a == o.a && b == o.b && c == o.c &&
+               imm == o.imm && use_imm == o.use_imm &&
+               modulus == o.modulus && mem_obj == o.mem_obj &&
+               mem_idx == o.mem_idx;
     }
 };
 
@@ -34,6 +36,7 @@ struct VnKeyHash
         size_t h = k.op;
         h = h * 1000003 + static_cast<size_t>(k.a + 1);
         h = h * 1000003 + static_cast<size_t>(k.b + 1);
+        h = h * 1000003 + static_cast<size_t>(k.c + 1);
         h = h * 1000003 + static_cast<size_t>(k.imm);
         h = h * 1000003 + k.use_imm;
         h = h * 1000003 + k.modulus;
@@ -51,7 +54,7 @@ commutative(IrOp op)
 
 } // namespace
 
-void
+size_t
 runPre(IrProgram &prog, StatSet &stats)
 {
     // Value numbering over the SSA program (the dominator structure of a
@@ -60,6 +63,7 @@ runPre(IrProgram &prog, StatSet &stats)
     // plaintext constants) are pure and participate; mutable loads and
     // stores do not.
     std::unordered_map<VnKey, int, VnKeyHash> table;
+    table.reserve(prog.insts.size());
     std::vector<int> fwd(prog.insts.size());
     for (size_t i = 0; i < fwd.size(); ++i)
         fwd[i] = static_cast<int>(i);
@@ -75,14 +79,14 @@ runPre(IrProgram &prog, StatSet &stats)
         IrInst &inst = prog.insts[i];
         if (inst.dead)
             continue;
-        if (inst.a >= 0)
-            inst.a = resolve(inst.a);
-        if (inst.b >= 0)
-            inst.b = resolve(inst.b);
+        for (int *slot : inst.operandSlots())
+            if (*slot >= 0)
+                *slot = resolve(*slot);
 
         bool pure = false;
         VnKey key{};
         key.op = static_cast<uint8_t>(inst.op);
+        key.c = -1;
         key.modulus = inst.modulus;
         key.imm = inst.useImm ? inst.imm : 0;
         key.use_imm = inst.useImm;
@@ -99,6 +103,7 @@ runPre(IrProgram &prog, StatSet &stats)
             pure = true;
             key.a = inst.a;
             key.b = inst.b;
+            key.c = inst.c;
             if (commutative(inst.op) && !inst.useImm && key.b < key.a)
                 std::swap(key.a, key.b);
             if (inst.op == IrOp::Auto)
@@ -136,10 +141,9 @@ runPre(IrProgram &prog, StatSet &stats)
     for (const auto &inst : prog.insts) {
         if (inst.dead)
             continue;
-        if (inst.a >= 0)
-            ++uses[inst.a];
-        if (inst.b >= 0)
-            ++uses[inst.b];
+        for (int operand : inst.operands())
+            if (operand >= 0)
+                ++uses[operand];
     }
     size_t dce = 0;
     for (size_t i = prog.insts.size(); i-- > 0;) {
@@ -150,15 +154,15 @@ runPre(IrProgram &prog, StatSet &stats)
         ++dce;
         // A use count hitting zero is handled when the reverse loop
         // reaches the defining instruction.
-        if (inst.a >= 0)
-            --uses[inst.a];
-        if (inst.b >= 0)
-            --uses[inst.b];
+        for (int operand : inst.operands())
+            if (operand >= 0)
+                --uses[operand];
     }
 
     stats.add("pre.cseRemoved", double(cse_removed));
     stats.add("pre.readOnlyReloadsRemoved", double(reload_removed));
     stats.add("pre.deadCodeRemoved", double(dce));
+    return cse_removed + reload_removed + dce;
 }
 
 } // namespace effact

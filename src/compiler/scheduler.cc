@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include "common/logging.h"
+#include "compiler/pass_manager.h"
 #include "sched/depgraph.h"
 
 #include <queue>
@@ -31,9 +32,8 @@ estLatency(const IrInst &inst)
 } // namespace
 
 std::vector<int>
-runScheduler(const IrProgram &prog,
-             const std::vector<std::pair<int, int>> &deps, bool enabled,
-             StatSet &stats)
+runScheduler(const IrProgram &prog, AnalysisManager &analyses,
+             bool enabled, StatSet &stats)
 {
     const size_t n = prog.insts.size();
     // liveCount() walks every instruction; hoist it out of the scheduling
@@ -53,8 +53,9 @@ runScheduler(const IrProgram &prog,
 
     // The shared dependence-graph layer: SSA true dependences + the
     // alias pass's memory-ordering edges, the same graph family the
-    // event-driven simulator consumes at the machine level.
-    const DepGraph graph = DepGraph::fromIr(prog, deps);
+    // event-driven simulator consumes at the machine level. Served from
+    // the analysis cache, so a re-schedule of unchanged IR is free.
+    const DepGraph &graph = analyses.depGraph(prog, stats);
     std::vector<uint32_t> preds = graph.indegrees();
 
     // Critical-path priority: longest latency path to any sink (node

@@ -25,7 +25,7 @@ runStreaming(const IrProgram &prog, const std::vector<int> &order,
         const IrInst &inst = prog.insts[i];
         if (inst.dead)
             continue;
-        for (int operand : {inst.a, inst.b, inst.c}) {
+        for (int operand : inst.operands()) {
             if (operand >= 0) {
                 ++uses[operand];
                 only_use[operand] = static_cast<int>(i);

@@ -10,6 +10,7 @@ int
 IrProgram::addObject(std::string obj_name, int residues, bool read_only)
 {
     objects.push_back({std::move(obj_name), residues, read_only});
+    bumpVersion();
     return static_cast<int>(objects.size()) - 1;
 }
 
@@ -17,6 +18,7 @@ int
 IrProgram::emit(IrInst inst)
 {
     insts.push_back(inst);
+    bumpVersion();
     return static_cast<int>(insts.size()) - 1;
 }
 
@@ -32,6 +34,8 @@ IrProgram::liveCount() const
 void
 IrProgram::compact()
 {
+    if (liveCount() == insts.size())
+        return; // nothing dead: ids (and cached analyses) stay valid
     std::vector<int> remap(insts.size(), -1);
     std::vector<IrInst> kept;
     kept.reserve(insts.size());
@@ -42,7 +46,7 @@ IrProgram::compact()
         kept.push_back(insts[i]);
     }
     for (auto &inst : kept) {
-        for (int *operand : {&inst.a, &inst.b, &inst.c}) {
+        for (int *operand : inst.operandSlots()) {
             if (*operand >= 0) {
                 EFFACT_ASSERT(remap[*operand] >= 0,
                               "live instruction uses dead value %d",
@@ -52,6 +56,7 @@ IrProgram::compact()
         }
     }
     insts = std::move(kept);
+    bumpVersion();
 }
 
 std::string

@@ -8,6 +8,8 @@
 #ifndef EFFACT_IR_IR_H
 #define EFFACT_IR_IR_H
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -73,6 +75,12 @@ struct IrInst
     IrTag tag = IrTag::Normal;
     MemRef mem;         ///< Load/Store location
     bool dead = false;  ///< marked by passes instead of O(n) erases
+
+    /** The operand slots (a, b, c) for uniform traversal/rewriting: a
+     *  pass that resolves or counts operands must cover all three (a
+     *  value can be live only as a Mac accumulator). */
+    std::array<int *, 3> operandSlots() { return {&a, &b, &c}; }
+    std::array<int, 3> operands() const { return {a, b, c}; }
 };
 
 /** An SSA program over residue polynomials. */
@@ -96,11 +104,55 @@ struct IrProgram
     /** Compacts dead instructions and renumbers value ids. */
     void compact();
 
+    /**
+     * Mutation counter keying cached analyses (`AnalysisManager`): two
+     * calls observing the same version may reuse results computed at
+     * that version. `emit`/`compact` bump it internally; passes that
+     * rewrite instructions in place must call `bumpVersion()` when (and
+     * only when) they report a change.
+     */
+    uint64_t version() const { return version_; }
+    void bumpVersion() { ++version_; }
+
+    /**
+     * Process-unique program identity, part of the analysis cache key
+     * next to `version()`. Every program object — including copies and
+     * move targets — gets a fresh id, so a cache can never confuse two
+     * programs that reuse an address or happen to share a mutation
+     * count (e.g. successive stack-local programs in a
+     * re-compilation sweep). The cost of the fresh-on-move choice is
+     * only a spurious analysis rebuild, never a stale hit.
+     */
+    uint64_t uid() const { return uid_.value; }
+
     /** Op histogram over live instructions, keyed for Fig. 3. */
     StatSet opMix() const;
 
     /** Total bytes of all read-only objects (key/constant footprint). */
     size_t readOnlyBytes() const;
+
+  private:
+    struct UniqueId
+    {
+        uint64_t value = next();
+        UniqueId() = default;
+        UniqueId(const UniqueId &) : value(next()) {}
+        UniqueId(UniqueId &&) noexcept : value(next()) {}
+        UniqueId &operator=(const UniqueId &) { value = next(); return *this; }
+        UniqueId &operator=(UniqueId &&) noexcept
+        {
+            value = next();
+            return *this;
+        }
+        static uint64_t next()
+        {
+            static std::atomic<uint64_t> counter{0};
+            return ++counter;
+        }
+    };
+
+    UniqueId uid_;
+    uint64_t version_ = 0;
 };
 
 /** Name used in the Fig. 3 histogram for an instruction. */

@@ -26,6 +26,9 @@ Platform::run(Workload &workload) const
     return result;
 }
 
+// Each Fig. 11 design point is one declarative pipeline spec; the
+// bool switches are kept consistent for code that inspects them.
+
 CompilerOptions
 Platform::baselineOptions(size_t sram_bytes)
 {
@@ -34,6 +37,7 @@ Platform::baselineOptions(size_t sram_bytes)
     o.constProp = false;
     o.pre = false;
     o.peephole = false;
+    o.pipeline = "";
     o.schedule = false;
     o.streaming = false;
     o.sramBytes = sram_bytes;
@@ -47,10 +51,8 @@ Platform::madEnhancedOptions(size_t sram_bytes)
     // keys/constants) but schedules data paths by hand within HE
     // primitives: no global scheduling or streaming.
     CompilerOptions o;
-    o.copyProp = true;
-    o.constProp = true;
-    o.pre = true;
     o.peephole = false;
+    o.pipeline = "copyprop,constprop,pre";
     o.schedule = false;
     o.streaming = false;
     o.sramBytes = sram_bytes;
@@ -61,10 +63,8 @@ CompilerOptions
 Platform::streamingOptions(size_t sram_bytes)
 {
     CompilerOptions o;
-    o.copyProp = true;
-    o.constProp = true;
-    o.pre = true;
     o.peephole = false;
+    o.pipeline = "copyprop,constprop,pre";
     o.schedule = true;
     o.streaming = true;
     o.sramBytes = sram_bytes;
@@ -75,6 +75,7 @@ CompilerOptions
 Platform::fullOptions(size_t sram_bytes)
 {
     CompilerOptions o;
+    o.pipeline = "copyprop,constprop,pre,peephole";
     o.sramBytes = sram_bytes;
     return o;
 }

@@ -51,7 +51,7 @@ DepGraph::fromIr(const IrProgram &prog,
         const IrInst &inst = prog.insts[i];
         if (inst.dead)
             continue;
-        for (int operand : {inst.a, inst.b, inst.c})
+        for (int operand : inst.operands())
             if (operand >= 0)
                 g.addEdge(operand, static_cast<int>(i), DepKind::True);
     }

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "compiler/pass.h"
+#include "compiler/pass_manager.h"
 #include "ir/workloads.h"
 
 namespace effact {
@@ -183,8 +184,8 @@ TEST(Scheduler, RespectsDependences)
 {
     IrProgram prog = tinyProgram();
     StatSet stats;
-    auto deps = runAliasAnalysis(prog, stats);
-    auto order = runScheduler(prog, deps, true, stats);
+    AnalysisManager analyses;
+    auto order = runScheduler(prog, analyses, true, stats);
     ASSERT_EQ(order.size(), prog.liveCount());
     std::vector<int> pos(prog.insts.size(), -1);
     for (size_t k = 0; k < order.size(); ++k)
@@ -204,8 +205,8 @@ TEST(Streaming, SingleConsumerLoadsStream)
 {
     IrProgram prog = tinyProgram(); // load b has a single use
     StatSet stats;
-    auto deps = runAliasAnalysis(prog, stats);
-    auto order = runScheduler(prog, deps, true, stats);
+    AnalysisManager analyses;
+    auto order = runScheduler(prog, analyses, true, stats);
     auto info = runStreaming(prog, order, true, 96, stats);
     EXPECT_GE(stats.get("stream.loads"), 1);
     // Load of `a` has two consumers -> must not stream.
@@ -216,8 +217,8 @@ TEST(Streaming, DisabledMeansNothingStreams)
 {
     IrProgram prog = tinyProgram();
     StatSet stats;
-    auto deps = runAliasAnalysis(prog, stats);
-    auto order = runScheduler(prog, deps, true, stats);
+    AnalysisManager analyses;
+    auto order = runScheduler(prog, analyses, true, stats);
     auto info = runStreaming(prog, order, false, 96, stats);
     for (auto v : info.streamedLoad)
         EXPECT_EQ(v, 0);
