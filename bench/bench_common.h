@@ -5,8 +5,12 @@
 #ifndef EFFACT_BENCH_COMMON_H
 #define EFFACT_BENCH_COMMON_H
 
+#include <chrono>
+#include <cstdio>
+
 #include "common/table.h"
 #include "platform/platform.h"
+#include "runtime/sweep.h"
 
 namespace effact {
 
@@ -16,6 +20,23 @@ runOn(const HardwareConfig &hw, Workload workload)
 {
     Platform platform(hw, Platform::fullOptions(hw.sramBytes));
     return platform.run(workload);
+}
+
+/**
+ * Runs a populated sweep engine and reports batch wall-clock on stderr
+ * (never stdout: figure tables must stay byte-identical at any
+ * `EFFACT_THREADS` setting).
+ */
+inline const std::vector<SweepResult> &
+runTimed(SweepEngine &engine)
+{
+    using Clock = std::chrono::steady_clock;
+    const Clock::time_point t0 = Clock::now();
+    const std::vector<SweepResult> &results = engine.runAll();
+    const std::chrono::duration<double> seconds = Clock::now() - t0;
+    std::fprintf(stderr, "[sweep] %zu jobs on %zu worker(s): %.2f s\n",
+                 engine.jobCount(), engine.workersUsed(), seconds.count());
+    return results;
 }
 
 /** Paper-scale CKKS parameters (Table III row 1). */

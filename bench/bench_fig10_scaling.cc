@@ -2,6 +2,10 @@
  * @file
  * Fig. 10 — performance scaling of EFFACT-54/108/162 (SRAM + multiplier
  * scaling) over EFFACT-27 on bootstrapping, HELR and ResNet.
+ *
+ * The 4 x 3 (config, workload) grid runs as one `SweepEngine` batch:
+ * results come back in submission order, so stdout is byte-identical at
+ * any `EFFACT_THREADS` setting (wall-clock notes go to stderr).
  */
 #include "bench_common.h"
 
@@ -26,20 +30,28 @@ main()
         {"ResNet", buildResNet20},
     };
 
+    SweepEngine engine({defaultThreadCount()});
+    for (const auto &hw : configs) {
+        for (const BenchRow &bench : benches) {
+            Workload (*build)(const FheParams &) = bench.build;
+            engine.submit(std::string(hw.name) + "/" + bench.name,
+                          [build] { return build(paperFhe()); }, hw,
+                          Platform::fullOptions(hw.sramBytes));
+        }
+    }
+    const std::vector<SweepResult> &results = runTimed(engine);
+
     Table table("Fig. 10 — speedup over EFFACT-27");
     table.header({"config", "Bootstrapping", "HELR", "ResNet"});
 
-    std::vector<std::vector<double>> times(benches.size());
-    for (const auto &hw : configs) {
-        for (size_t b = 0; b < benches.size(); ++b) {
-            PlatformResult r = runOn(hw, benches[b].build(paperFhe()));
-            times[b].push_back(r.benchTimeMs);
-        }
-    }
+    // results[c * benches + b] is (config c, workload b).
+    auto timeOf = [&](size_t c, size_t b) {
+        return results[c * benches.size() + b].platform.benchTimeMs;
+    };
     for (size_t c = 0; c < configs.size(); ++c) {
         std::vector<std::string> row = {configs[c].name};
         for (size_t b = 0; b < benches.size(); ++b)
-            row.push_back(Table::num(times[b][0] / times[b][c], 4) + "x");
+            row.push_back(Table::num(timeOf(0, b) / timeOf(c, b), 4) + "x");
         table.row(row);
     }
     table.print();

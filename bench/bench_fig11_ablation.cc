@@ -4,6 +4,12 @@
  * bootstrapping under the resource-constrained setting (27 MB SRAM,
  * 1 TB/s, 2048 multipliers): baseline -> MAD-enhanced -> EFFACT global
  * scheduling + streaming -> full EFFACT (adds circuit-level NTT reuse).
+ *
+ * The whole preset grid — the four canonical design points plus a
+ * preset x SRAM sensitivity grid — runs as one `SweepEngine` batch.
+ * Results are collected in submission order, so stdout is
+ * byte-identical at any `EFFACT_THREADS` setting; wall-clock notes go
+ * to stderr.
  */
 #include "bench_common.h"
 
@@ -18,41 +24,66 @@ main()
     struct Step
     {
         const char *name;
-        CompilerOptions opts;
+        CompilerOptions (*options)(size_t);
         bool mac_reuse;
     };
-    std::vector<Step> steps = {
-        {"baseline", Platform::baselineOptions(hw.sramBytes), false},
-        {"MAD-enhanced", Platform::madEnhancedOptions(hw.sramBytes),
+    const std::vector<Step> steps = {
+        {"baseline", Platform::baselineOptions, false},
+        {"MAD-enhanced", Platform::madEnhancedOptions, false},
+        {"global streaming & memory opt", Platform::streamingOptions,
          false},
-        {"global streaming & memory opt",
-         Platform::streamingOptions(hw.sramBytes), false},
-        {"full EFFACT", Platform::fullOptions(hw.sramBytes), true},
+        {"full EFFACT", Platform::fullOptions, true},
     };
+    // SRAM sensitivity points of the grid (canonical 27 MB first).
+    const std::vector<size_t> sram_points = {
+        size_t(27) << 20, size_t(13) << 20, size_t(54) << 20};
 
+    SweepEngine engine({defaultThreadCount()});
+    auto submitStep = [&](const Step &step, size_t sram_bytes) {
+        HardwareConfig cfg = hw;
+        cfg.nttMacReuse = step.mac_reuse;
+        cfg.sramBytes = sram_bytes;
+        engine.submit(step.name,
+                      [] { return buildBootstrapping(paperFhe()); }, cfg,
+                      step.options(sram_bytes));
+    };
+    for (size_t s = 0; s < sram_points.size(); ++s)
+        for (const Step &step : steps)
+            submitStep(step, sram_points[s]);
+    const std::vector<SweepResult> &results = runTimed(engine);
+
+    // results[s * steps + k] is (sram point s, design point k); the
+    // canonical Fig. 11 table is the first SRAM point.
     Table table("Fig. 11 — bootstrapping DRAM transfer & runtime");
     table.header({"design point", "DRAM transfer (GB)",
                   "runtime (ms)"});
-    double base_dram = 0, base_time = 0;
-    double last_dram = 0, last_time = 0;
-    for (const auto &step : steps) {
-        HardwareConfig cfg = hw;
-        cfg.nttMacReuse = step.mac_reuse;
-        Workload w = buildBootstrapping(paperFhe());
-        Platform p(cfg, step.opts);
-        PlatformResult r = p.run(w);
-        if (base_dram == 0) {
-            base_dram = r.dramGb;
-            base_time = r.benchTimeMs;
-        }
-        last_dram = r.dramGb;
-        last_time = r.benchTimeMs;
-        table.row({step.name, Table::num(r.dramGb, 4),
+    for (size_t k = 0; k < steps.size(); ++k) {
+        const PlatformResult &r = results[k].platform;
+        table.row({steps[k].name, Table::num(r.dramGb, 4),
                    Table::num(r.benchTimeMs, 4)});
     }
     table.print();
+    const PlatformResult &base = results.front().platform;
+    const PlatformResult &full = results[steps.size() - 1].platform;
     std::printf("baseline -> full reduction: DRAM %.2fx, runtime %.2fx\n",
-                base_dram / last_dram, base_time / last_time);
+                base.dramGb / full.dramGb,
+                base.benchTimeMs / full.benchTimeMs);
+
+    Table grid("Fig. 11 (cont.) — runtime (ms) across SRAM budgets");
+    grid.header({"design point", "13 MB", "27 MB", "54 MB"});
+    // Column order is by SRAM size; submission order put 27 MB first.
+    const std::vector<size_t> col_of_point = {1, 0, 2};
+    for (size_t k = 0; k < steps.size(); ++k) {
+        std::vector<std::string> row = {steps[k].name};
+        for (size_t col = 0; col < sram_points.size(); ++col) {
+            const size_t s = col_of_point[col];
+            const PlatformResult &r =
+                results[s * steps.size() + k].platform;
+            row.push_back(Table::num(r.benchTimeMs, 4));
+        }
+        grid.row(row);
+    }
+    grid.print();
 
     std::puts("Paper reference (Fig. 11): MAD-enhanced cuts ~1.24x over");
     std::puts("baseline; EFFACT scheduling+streaming removes 42.2% of");

@@ -1,24 +1,26 @@
 #include "common/logging.h"
 
+#include <atomic>
 #include <cstdlib>
 #include <vector>
 
 namespace effact {
 
 namespace {
-bool g_verbose = false;
+// Atomic: batch workers log while the main thread may toggle verbosity.
+std::atomic<bool> g_verbose{false};
 } // namespace
 
 void
 setLogVerbose(bool verbose)
 {
-    g_verbose = verbose;
+    g_verbose.store(verbose, std::memory_order_relaxed);
 }
 
 bool
 logVerbose()
 {
-    return g_verbose;
+    return g_verbose.load(std::memory_order_relaxed);
 }
 
 std::string
@@ -80,7 +82,7 @@ warn(const char *fmt, ...)
 void
 inform(const char *fmt, ...)
 {
-    if (!g_verbose)
+    if (!logVerbose())
         return;
     va_list ap;
     va_start(ap, fmt);

@@ -8,6 +8,13 @@ namespace effact {
 MachineProgram
 Compiler::compile(IrProgram &prog)
 {
+    AnalysisManager analyses;
+    return compile(prog, analyses);
+}
+
+MachineProgram
+Compiler::compile(IrProgram &prog, AnalysisManager &analyses)
+{
     stats_.clear();
     const size_t before = prog.liveCount();
     stats_.set("input.instructions", double(before));
@@ -16,7 +23,6 @@ Compiler::compile(IrProgram &prog)
     // point. The repeat subsumes the old special-cased "copy-prop again
     // after the Eq. 5 peephole" cleanup and catches any second-order
     // reductions one sweep misses.
-    AnalysisManager analyses;
     PassManager pipeline = PassManager::fromSpec(
         opts_.pipeline.empty() ? pipelineSpecFromOptions(opts_)
                                : opts_.pipeline);

@@ -117,6 +117,15 @@ class Compiler
     /** Compiles (mutates `prog` through the optimization passes). */
     MachineProgram compile(IrProgram &prog);
 
+    /**
+     * Same, against a caller-owned `AnalysisManager`. Analyses are
+     * cached keyed on (program uid, version), so one manager can serve
+     * a whole re-compilation sweep — a batch worker reuses its manager
+     * across jobs without locking, and a re-compile of unchanged IR
+     * hits the cache. The manager must not be shared across threads.
+     */
+    MachineProgram compile(IrProgram &prog, AnalysisManager &analyses);
+
     const StatSet &stats() const { return stats_; }
     const CompilerOptions &options() const { return opts_; }
 

@@ -268,8 +268,12 @@ runRegAllocAndCodegen(const IrProgram &prog, const std::vector<int> &order,
                 continue; // reloaded at each use instead
             MachInst mi;
             mi.op = Opcode::LOAD_RES;
-            mi.dest = spilled[i] ? Operand::regOp(scratchReg())
-                                 : Operand::regOp(assigned[i]);
+            // A load whose value is never used (possible when DCE is
+            // off) has no allocated register; land it in scratch like
+            // any other unconsumed result — emitting register id -1
+            // would corrupt dependence tracking downstream.
+            mi.dest = assigned[i] >= 0 ? Operand::regOp(assigned[i])
+                                       : Operand::regOp(scratchReg());
             mi.hbmAddr = obj_base[inst.mem.object] +
                          static_cast<u64>(inst.mem.index) * residue_bytes;
             mi.modulus = inst.modulus;

@@ -100,6 +100,15 @@ struct MachineProgram
     size_t streamedOps = 0;    ///< operands converted to streaming
 };
 
+/**
+ * Order-sensitive 64-bit FNV-1a fingerprint over every instruction
+ * field and the program metadata. Two programs fingerprint equal iff
+ * codegen emitted the same instruction stream, so batch determinism
+ * tests can compare compiles across thread counts without holding every
+ * `MachineProgram` in memory.
+ */
+uint64_t fingerprint(const MachineProgram &prog);
+
 /** Mnemonic for an opcode. */
 const char *opcodeName(Opcode op);
 

@@ -1,5 +1,7 @@
 #include "platform/platform.h"
 
+#include "compiler/pass_manager.h"
+
 namespace effact {
 
 Platform::Platform(HardwareConfig hw, CompilerOptions copts)
@@ -12,8 +14,15 @@ Platform::Platform(HardwareConfig hw, CompilerOptions copts)
 PlatformResult
 Platform::run(Workload &workload) const
 {
+    AnalysisManager analyses;
+    return run(workload, analyses);
+}
+
+PlatformResult
+Platform::run(Workload &workload, AnalysisManager &analyses) const
+{
     Compiler compiler(copts_);
-    MachineProgram mp = compiler.compile(workload.program);
+    MachineProgram mp = compiler.compile(workload.program, analyses);
 
     Simulator sim(hw_);
     PlatformResult result;
@@ -23,6 +32,7 @@ Platform::run(Workload &workload) const
     result.amortizedUs =
         result.benchTimeMs * 1e3 / workload.amortizeFactor;
     result.dramGb = result.sim.dramBytes * workload.repeat / 1e9;
+    result.machineFingerprint = fingerprint(mp);
     return result;
 }
 

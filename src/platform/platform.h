@@ -14,6 +14,8 @@
 
 namespace effact {
 
+class AnalysisManager; // compiler/pass_manager.h
+
 /** Benchmark-level result. */
 struct PlatformResult
 {
@@ -22,6 +24,10 @@ struct PlatformResult
     double benchTimeMs = 0;   ///< program time x workload repeat factor
     double amortizedUs = 0;   ///< per-slot amortized time (bootstrapping)
     double dramGb = 0;        ///< DRAM traffic of the full benchmark
+    /** `fingerprint()` of the compiled machine code: equal fingerprints
+     *  mean codegen emitted identical instruction streams, which is how
+     *  batch runs prove thread-count independence. */
+    uint64_t machineFingerprint = 0;
 };
 
 /** Compile-and-simulate driver. */
@@ -32,6 +38,14 @@ class Platform
 
     /** Runs a workload end-to-end (mutates its IR through the passes) */
     PlatformResult run(Workload &workload) const;
+
+    /**
+     * Same, compiling against a caller-owned `AnalysisManager` (see
+     * `Compiler::compile`): a batch worker keeps one manager across its
+     * jobs so cached analyses are reused without locking. Not safe to
+     * share one manager between concurrently running jobs.
+     */
+    PlatformResult run(Workload &workload, AnalysisManager &analyses) const;
 
     const HardwareConfig &hardware() const { return hw_; }
     const CompilerOptions &compilerOptions() const { return copts_; }

@@ -1,0 +1,128 @@
+#include "runtime/sweep.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "compiler/pass_manager.h"
+
+namespace effact {
+
+namespace {
+
+/** Runs one job against a worker-owned analysis manager. */
+SweepResult
+runJob(const SweepJob &job, size_t index, AnalysisManager &analyses)
+{
+    EFFACT_ASSERT(job.build != nullptr, "sweep job '%s' has no workload",
+                  job.name.c_str());
+    Workload workload = job.build();
+    Platform platform(job.hw, job.copts);
+    SweepResult r;
+    r.name = job.name;
+    r.jobIndex = index;
+    r.platform = platform.run(workload, analyses);
+    return r;
+}
+
+/** Accumulates one value into `<key>.{sum,min,max,count}`. */
+void
+accumulate(StatSet &agg, const std::string &key, double value)
+{
+    agg.add(key + ".sum", value);
+    agg.add(key + ".count", 1);
+    const std::string min_key = key + ".min";
+    const std::string max_key = key + ".max";
+    if (!agg.has(min_key) || value < agg.get(min_key))
+        agg.set(min_key, value);
+    if (!agg.has(max_key) || value > agg.get(max_key))
+        agg.set(max_key, value);
+}
+
+} // namespace
+
+size_t
+SweepEngine::submit(SweepJob job)
+{
+    EFFACT_ASSERT(!ran_, "submit after runAll");
+    jobs_.push_back(std::move(job));
+    return jobs_.size() - 1;
+}
+
+size_t
+SweepEngine::submit(std::string name, std::function<Workload()> build,
+                    HardwareConfig hw, CompilerOptions copts)
+{
+    SweepJob job;
+    job.name = std::move(name);
+    job.build = std::move(build);
+    job.hw = std::move(hw);
+    job.copts = copts;
+    return submit(std::move(job));
+}
+
+const std::vector<SweepResult> &
+SweepEngine::runAll()
+{
+    EFFACT_ASSERT(!ran_, "runAll is one-shot per engine");
+    ran_ = true;
+    results_.resize(jobs_.size());
+
+    const size_t want = threads();
+    if (want <= 1 || jobs_.size() <= 1) {
+        // Serial path: submission order on the calling thread, one
+        // shared analysis manager (sound: caches key on program uid).
+        workers_used_ = 1;
+        AnalysisManager analyses;
+        for (size_t i = 0; i < jobs_.size(); ++i)
+            results_[i] = runJob(jobs_[i], i, analyses);
+    } else {
+        const size_t n_workers = std::min(want, jobs_.size());
+        workers_used_ = n_workers;
+        // Per-worker analysis managers: caching without locking.
+        // Workers write disjoint result slots, so the only
+        // synchronization is the pool's queue and the final wait
+        // barrier.
+        std::vector<AnalysisManager> analyses(n_workers);
+        ThreadPool pool(n_workers);
+        for (size_t i = 0; i < jobs_.size(); ++i) {
+            pool.submit([this, i, &analyses](size_t worker) {
+                results_[i] = runJob(jobs_[i], i, analyses[worker]);
+            });
+        }
+        pool.wait();
+    }
+
+    // Aggregates from the ordered results on the calling thread:
+    // deterministic accumulation order regardless of worker timing.
+    aggregates_.clear();
+    for (const SweepResult &r : results_) {
+        for (const auto &[key, value] : r.platform.compilerStats.all())
+            accumulate(aggregates_, "compile." + key, value);
+        for (const auto &[key, value] : r.platform.sim.stats.all())
+            accumulate(aggregates_, "sim." + key, value);
+        accumulate(aggregates_, "platform.benchTimeMs",
+                   r.platform.benchTimeMs);
+        accumulate(aggregates_, "platform.dramGb", r.platform.dramGb);
+        accumulate(aggregates_, "platform.cycles", r.platform.sim.cycles);
+        accumulate(aggregates_, "platform.instructions",
+                   double(r.platform.sim.instructions));
+    }
+    // Derive means once the sums are complete.
+    std::vector<std::pair<std::string, double>> means;
+    for (const auto &[key, value] : aggregates_.all()) {
+        const size_t dot = key.rfind(".sum");
+        if (dot == std::string::npos || dot + 4 != key.size())
+            continue;
+        const std::string base = key.substr(0, dot);
+        const double count = aggregates_.get(base + ".count");
+        if (count > 0)
+            means.emplace_back(base + ".mean", value / count);
+    }
+    for (const auto &[key, value] : means)
+        aggregates_.set(key, value);
+    aggregates_.set("sweep.jobs", double(jobs_.size()));
+    aggregates_.set("sweep.threads", double(workers_used_));
+    return results_;
+}
+
+} // namespace effact

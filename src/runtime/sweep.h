@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Batch-execution engine: submit N (workload, hardware, compiler
+ * options) jobs, compile and simulate them concurrently on a fixed-size
+ * `ThreadPool`, and collect results in deterministic submission order.
+ * Every worker owns a private `AnalysisManager`, so analysis caching
+ * needs no locking. (The cache is keyed on the program's process-unique
+ * id, so it only pays off when a worker compiles the same program
+ * twice — not across today's fresh-built jobs; the per-worker manager
+ * is the no-lock home for future re-compilation sweeps.) Each job is
+ * pure given its inputs, so results — simulated cycles, machine-code
+ * fingerprints, stat aggregates — are byte-identical at any thread
+ * count. `threads = 1` is the serial path: jobs run in submission order
+ * on the calling thread with no pool.
+ */
+#ifndef EFFACT_RUNTIME_SWEEP_H
+#define EFFACT_RUNTIME_SWEEP_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "platform/platform.h"
+#include "runtime/thread_pool.h"
+
+namespace effact {
+
+/** One batch job: how to build the workload and where to run it. */
+struct SweepJob
+{
+    std::string name;
+    /** Workload factory, invoked on the executing worker (program
+     *  construction is part of the parallel work). Must be safe to call
+     *  from any thread — build the IR inside, don't capture shared
+     *  mutable state. */
+    std::function<Workload()> build;
+    HardwareConfig hw;
+    CompilerOptions copts;
+};
+
+/** One job's outcome, delivered in submission order. */
+struct SweepResult
+{
+    std::string name;
+    size_t jobIndex = 0;
+    PlatformResult platform;
+};
+
+/** Engine knobs. */
+struct SweepOptions
+{
+    /** Worker count; 1 = serial on the calling thread (no pool). */
+    size_t threads = 1;
+};
+
+/**
+ * Compile-and-simulate batch driver. `submit()` jobs, then `runAll()`
+ * once; results and per-stat aggregates are then available. Aggregates
+ * are computed from the ordered results on the calling thread, so they
+ * are independent of worker scheduling.
+ */
+class SweepEngine
+{
+  public:
+    explicit SweepEngine(SweepOptions opts = {}) : opts_(opts) {}
+
+    /** Enqueues a job; returns its index (= result position). */
+    size_t submit(SweepJob job);
+
+    /** Convenience overload building the `SweepJob` in place. */
+    size_t submit(std::string name, std::function<Workload()> build,
+                  HardwareConfig hw, CompilerOptions copts);
+
+    /**
+     * Runs every submitted job (concurrently when `threads > 1`) and
+     * returns the results in submission order. One-shot per engine.
+     */
+    const std::vector<SweepResult> &runAll();
+
+    /** Results of `runAll()`, in submission order. */
+    const std::vector<SweepResult> &results() const { return results_; }
+
+    /**
+     * Per-statistic aggregates over all jobs, valid after `runAll()`:
+     * for every key `k` in a job's compiler stats (prefixed
+     * `compile.`), simulator stats (`sim.`) and benchmark-level metrics
+     * (`platform.`), the batch records `<k>.sum`, `<k>.min`, `<k>.max`,
+     * `<k>.mean` and `<k>.count` (jobs reporting the key), plus
+     * `sweep.jobs` and `sweep.threads`.
+     */
+    const StatSet &aggregates() const { return aggregates_; }
+
+    size_t jobCount() const { return jobs_.size(); }
+
+    /** Requested worker count (the `SweepOptions` knob, floored at 1) */
+    size_t threads() const { return opts_.threads == 0 ? 1 : opts_.threads; }
+
+    /** Workers actually used by `runAll()` — the request clamped to the
+     *  job count (1 before the run). This is what `sweep.threads`
+     *  reports, so per-worker throughput math has the right
+     *  denominator. */
+    size_t workersUsed() const { return workers_used_; }
+
+  private:
+    SweepOptions opts_;
+    std::vector<SweepJob> jobs_;
+    std::vector<SweepResult> results_;
+    StatSet aggregates_;
+    size_t workers_used_ = 1;
+    bool ran_ = false;
+};
+
+} // namespace effact
+
+#endif // EFFACT_RUNTIME_SWEEP_H

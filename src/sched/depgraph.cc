@@ -73,8 +73,12 @@ DepGraph::fromMachine(const MachineProgram &prog)
     // tables beat hash maps on the hot build path.
     u64 max_reg = 0, max_tok = 0;
     for (const MachInst &mi : prog.insts) {
-        if (mi.dest.kind == OperandKind::Reg)
+        if (mi.dest.kind == OperandKind::Reg) {
+            EFFACT_ASSERT(mi.dest.reg >= 0,
+                          "machine instruction writes register %d",
+                          mi.dest.reg);
             max_reg = std::max<u64>(max_reg, static_cast<u64>(mi.dest.reg));
+        }
         if (mi.dest.kind == OperandKind::Stream && !mi.dest.dram)
             max_tok = std::max<u64>(max_tok, mi.dest.value);
     }

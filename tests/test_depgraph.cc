@@ -9,6 +9,7 @@
 #include "compiler/pass.h"
 #include "ir/builder.h"
 #include "sched/depgraph.h"
+#include "sim/machine.h"
 
 namespace effact {
 namespace {
@@ -110,6 +111,54 @@ TEST(DepGraphMachine, RegisterReuseCreatesAntiEdge)
     ASSERT_EQ(edges.size(), 2u);
     EXPECT_EQ(edges[0], std::make_tuple(0, 1, DepKind::True));
     EXPECT_EQ(edges[1], std::make_tuple(0, 2, DepKind::Anti));
+}
+
+/**
+ * Regression pin for the *intentional* WAW-only anti-dependence
+ * semantics (see ROADMAP): a register overwrite waits for the previous
+ * WRITER of that register, but NOT for unissued READERS of the old
+ * value (no WAR edges). This is faithful to the seed simulator's
+ * machine model; a future "fix" that adds WAR edges would silently
+ * change simulated cycles everywhere, so both the edge set and the
+ * cycle-level consequence are asserted exactly.
+ */
+TEST(DepGraphMachine, WarOverwriteDoesNotWaitForUnissuedReaders)
+{
+    MachineProgram mp;
+    const size_t n = size_t(1) << 15;
+    mp.residueBytes = n * 8;
+    // i0 writes r0; i1 reads r0 (the old value); i2 overwrites r0
+    // before i1 has necessarily issued; i3 consumes the new r0.
+    mp.insts.push_back(compute(Opcode::MMUL, Operand::regOp(0),
+                               Operand::regOp(1), Operand::regOp(2)));
+    mp.insts.push_back(compute(Opcode::MMAD, Operand::regOp(3),
+                               Operand::regOp(0), Operand::regOp(1)));
+    mp.insts.push_back(compute(Opcode::MMUL, Operand::regOp(0),
+                               Operand::regOp(2), Operand::regOp(4)));
+    mp.insts.push_back(compute(Opcode::NTT, Operand::regOp(5),
+                               Operand::regOp(0)));
+
+    DepGraph g = DepGraph::fromMachine(mp);
+    auto edges = allEdges(g);
+    // Exactly: 0->1 RAW, 0->2 WAW, 2->3 RAW. No 1->2 WAR edge.
+    ASSERT_EQ(edges.size(), 3u);
+    EXPECT_EQ(edges[0], std::make_tuple(0, 1, DepKind::True));
+    EXPECT_EQ(edges[1], std::make_tuple(0, 2, DepKind::Anti));
+    EXPECT_EQ(edges[2], std::make_tuple(2, 3, DepKind::True));
+
+    // Cycle-level consequence: the anti edge orders *issue* but carries
+    // no data latency, so i2 starts at t = 0 on the second MUL unit —
+    // while i1, which waits for i0's data, has not issued yet — and i3
+    // only waits for i2. With ew = ceil(n/lanes) and the 16-cycle
+    // startup, i3 finishes at (ew + 16) + ntt + 16; a WAR-honoring
+    // model would stall i2 (and i3) behind i1's issue at ew + 16.
+    HardwareConfig hw = HardwareConfig::asicEffact27(); // 2 MUL units
+    SimReport r = Simulator(hw).run(mp);
+    const double ew = double(n) / double(hw.lanes);
+    const double ntt = double(n) * 15 / 2.0 / double(hw.lanes);
+    EXPECT_NEAR(r.cycles, ew + 16 + ntt + 16, 1e-6);
+    SimReport ref = Simulator(hw).runReference(mp);
+    EXPECT_DOUBLE_EQ(r.cycles, ref.cycles);
 }
 
 TEST(DepGraphMachine, StoreDoesNotDefineItsOperand)

