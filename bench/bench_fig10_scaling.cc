@@ -3,11 +3,17 @@
  * Fig. 10 — performance scaling of EFFACT-54/108/162 (SRAM + multiplier
  * scaling) over EFFACT-27 on bootstrapping, HELR and ResNet.
  *
- * The 4 x 3 (config, workload) grid runs as one `SweepEngine` batch:
- * results come back in submission order, so stdout is byte-identical at
- * any `EFFACT_THREADS` setting (wall-clock notes go to stderr).
+ * The 4 x 3 (config, workload) grid runs as one `SweepEngine` batch
+ * over a shared `CompileCache`: all four hardware configs share one
+ * middle-end pipeline run per workload (the SRAM/multiplier scaling is
+ * back-end-only), asserted below via the `cache.*` stats. Results come
+ * back in submission order, so stdout is byte-identical at any
+ * `EFFACT_THREADS` setting and any cache hit pattern (wall-clock and
+ * cache notes go to stderr).
  */
 #include "bench_common.h"
+
+#include "common/logging.h"
 
 using namespace effact;
 
@@ -30,7 +36,9 @@ main()
         {"ResNet", buildResNet20},
     };
 
-    SweepEngine engine({defaultThreadCount()});
+    CompileCache cache;
+    SweepEngine engine(
+        {defaultThreadCount(), compileCacheEnabled() ? &cache : nullptr});
     for (const auto &hw : configs) {
         for (const BenchRow &bench : benches) {
             Workload (*build)(const FheParams &) = bench.build;
@@ -40,6 +48,15 @@ main()
         }
     }
     const std::vector<SweepResult> &results = runTimed(engine);
+    if (compileCacheEnabled()) {
+        reportCacheStats(cache);
+        const StatSet cs = cache.statsSnapshot();
+        EFFACT_ASSERT(cs.get("cache.misses") == double(benches.size()),
+                      "the %zu-job grid must run exactly %zu middle-end "
+                      "pipelines (one per workload), ran %.0f",
+                      engine.jobCount(), benches.size(),
+                      cs.get("cache.misses"));
+    }
 
     Table table("Fig. 10 — speedup over EFFACT-27");
     table.header({"config", "Bootstrapping", "HELR", "ResNet"});

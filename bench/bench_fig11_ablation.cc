@@ -6,12 +6,17 @@
  * scheduling + streaming -> full EFFACT (adds circuit-level NTT reuse).
  *
  * The whole preset grid — the four canonical design points plus a
- * preset x SRAM sensitivity grid — runs as one `SweepEngine` batch.
- * Results are collected in submission order, so stdout is
- * byte-identical at any `EFFACT_THREADS` setting; wall-clock notes go
- * to stderr.
+ * preset x SRAM sensitivity grid — runs as one `SweepEngine` batch over
+ * a shared `CompileCache`: the 12 jobs share 4 middle-end pipeline runs
+ * (one per preset; the SRAM split is back-end-only), asserted below via
+ * the `cache.*` stats. Results are collected in submission order, so
+ * stdout is byte-identical at any `EFFACT_THREADS` setting — and at any
+ * cache hit pattern, including `EFFACT_COMPILE_CACHE=0`; wall-clock and
+ * cache notes go to stderr.
  */
 #include "bench_common.h"
+
+#include "common/logging.h"
 
 using namespace effact;
 
@@ -38,7 +43,9 @@ main()
     const std::vector<size_t> sram_points = {
         size_t(27) << 20, size_t(13) << 20, size_t(54) << 20};
 
-    SweepEngine engine({defaultThreadCount()});
+    CompileCache cache;
+    SweepEngine engine(
+        {defaultThreadCount(), compileCacheEnabled() ? &cache : nullptr});
     auto submitStep = [&](const Step &step, size_t sram_bytes) {
         HardwareConfig cfg = hw;
         cfg.nttMacReuse = step.mac_reuse;
@@ -51,6 +58,20 @@ main()
         for (const Step &step : steps)
             submitStep(step, sram_points[s]);
     const std::vector<SweepResult> &results = runTimed(engine);
+    if (compileCacheEnabled()) {
+        // The hardware split in action: 12 jobs, one middle-end
+        // pipeline run per preset. Single-flight makes the counts exact
+        // at any thread count.
+        reportCacheStats(cache);
+        const StatSet cs = cache.statsSnapshot();
+        EFFACT_ASSERT(cs.get("cache.lookups") == double(engine.jobCount()),
+                      "every job must consult the shared cache");
+        EFFACT_ASSERT(cs.get("cache.misses") == double(steps.size()),
+                      "the %zu-job grid must run exactly %zu middle-end "
+                      "pipelines (one per preset), ran %.0f",
+                      engine.jobCount(), steps.size(),
+                      cs.get("cache.misses"));
+    }
 
     // results[s * steps + k] is (sram point s, design point k); the
     // canonical Fig. 11 table is the first SRAM point.

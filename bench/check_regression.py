@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""Gate a BENCH_sweep.json against the checked-in bench/baseline.json.
+
+Two classes of comparison:
+
+- Deterministic fields (simulated cycles, machine-code fingerprints,
+  job/cache counts): the simulator and compiler are bit-deterministic,
+  so these must match the baseline *exactly* on any machine. A mismatch
+  means compiler or simulator behavior changed — if intended, regenerate
+  the baseline deliberately with bench/regen_baseline.sh and commit it
+  with the change that moved the numbers.
+
+- Wall-clock fields (`*_wall_ms` / `wall_ms`): machine-dependent and
+  noisy. The gate fails only on a regression beyond the threshold
+  (default 25%; override with EFFACT_PERF_THRESHOLD=<fraction> or
+  --threshold for noisy runners). Improvements are reported, never
+  failed, so the recorded trajectory can drift downward freely.
+
+Exit status: 0 clean, 1 regression/mismatch, 2 usage or schema error.
+
+Usage: check_regression.py <current.json> <baseline.json> [--threshold F]
+
+Stdlib only — runs anywhere CI has a python3.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def fail(msg):
+    print(f"FAIL: {msg}")
+    return 1
+
+
+def get(tree, dotted):
+    node = tree
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            raise KeyError(dotted)
+        node = node[part]
+    return node
+
+
+# Deterministic scalars compared exactly.
+EXACT_KEYS = [
+    "sim_speed.instructions",
+    "sim_speed.cycles",
+    "fig11_grid.jobs",
+    "fig11_grid.cache.lookups",
+    "fig11_grid.cache.middle_end_runs",
+    "fig11_grid.cache.frontend_skipped",
+]
+
+# Wall-clock scalars gated by the threshold.
+WALL_KEYS = [
+    "sim_speed.sim_wall_ms",
+    "sim_speed.compile_wall_ms",
+    "fig11_grid.wall_ms",
+]
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current")
+    parser.add_argument("baseline")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        # `or "0.25"` also covers the env var exported as an empty
+        # string (CI does that when the repo variable is unset).
+        default=float(os.environ.get("EFFACT_PERF_THRESHOLD") or "0.25"),
+        help="max tolerated wall-clock regression as a fraction "
+        "(default 0.25 = 25%%; env: EFFACT_PERF_THRESHOLD)",
+    )
+    args = parser.parse_args()
+
+    try:
+        with open(args.current) as f:
+            current = json.load(f)
+        with open(args.baseline) as f:
+            baseline = json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"ERROR: {exc}")
+        return 2
+
+    for tree, name in ((current, args.current), (baseline, args.baseline)):
+        if tree.get("schema") != "effact-bench-sweep-v1":
+            print(f"ERROR: {name}: unknown schema {tree.get('schema')!r}")
+            return 2
+
+    status = 0
+
+    for key in EXACT_KEYS:
+        try:
+            cur, base = get(current, key), get(baseline, key)
+        except KeyError:
+            status |= fail(f"{key}: missing")
+            continue
+        if cur != base:
+            status |= fail(
+                f"{key}: {cur} != baseline {base} (deterministic field "
+                "changed; regenerate the baseline if intended)"
+            )
+        else:
+            print(f"ok   {key}: {cur}")
+
+    # Per-job deterministic results, matched by (name, sram_mb).
+    def job_map(tree, name):
+        jobs = {}
+        for job in get(tree, "fig11_grid.results"):
+            jobs[(job["name"], job["sram_mb"])] = job
+        return jobs
+
+    cur_jobs, base_jobs = job_map(current, "current"), job_map(
+        baseline, "baseline"
+    )
+    if set(cur_jobs) != set(base_jobs):
+        status |= fail(
+            f"grid shape changed: {sorted(set(cur_jobs) ^ set(base_jobs))}"
+        )
+    for key in sorted(set(cur_jobs) & set(base_jobs)):
+        cur, base = cur_jobs[key], base_jobs[key]
+        for field in ("cycles", "fingerprint"):
+            if cur.get(field) != base.get(field):
+                status |= fail(
+                    f"{key[0]}/sram{key[1]}.{field}: {cur.get(field)} != "
+                    f"baseline {base.get(field)}"
+                )
+    if not status:
+        print(f"ok   {len(cur_jobs)} grid jobs: cycles + fingerprints match")
+
+    for key in WALL_KEYS:
+        try:
+            cur, base = get(current, key), get(baseline, key)
+        except KeyError:
+            status |= fail(f"{key}: missing")
+            continue
+        ratio = cur / base if base > 0 else float("inf")
+        if ratio > 1.0 + args.threshold:
+            status |= fail(
+                f"{key}: {cur:.1f} ms vs baseline {base:.1f} ms "
+                f"(+{(ratio - 1) * 100:.1f}% > {args.threshold * 100:.0f}% "
+                "budget; EFFACT_PERF_THRESHOLD overrides on noisy runners)"
+            )
+        else:
+            print(
+                f"ok   {key}: {cur:.1f} ms vs baseline {base:.1f} ms "
+                f"({(ratio - 1) * 100:+.1f}%)"
+            )
+
+    print("perf gate:", "FAILED" if status else "clean")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Regenerate bench/baseline.json, the perf-gate reference for the CI
+# `perf` job. Run this deliberately when compiler/simulator behavior
+# changes move the deterministic fields (cycles, fingerprints), and
+# commit the result together with the change that moved them.
+#
+# Wall-clock fields are machine-dependent: numbers produced here come
+# from *this* machine. If the CI runner class is slower, either leave
+# generous headroom by hand (the checked-in baseline pads wall_ms for
+# exactly this reason — see bench/NOTES.md) or set
+# EFFACT_PERF_THRESHOLD on the repository for the noisy-runner case.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build-perf}
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=Release \
+  -DEFFACT_BUILD_TESTS=OFF \
+  -DEFFACT_BUILD_EXAMPLES=OFF \
+  -DEFFACT_FETCH_BENCHMARK=OFF
+cmake --build "$BUILD_DIR" -j --target bench_perf_lane
+"$BUILD_DIR"/bench/bench_perf_lane bench/baseline.json
+python3 bench/check_regression.py bench/baseline.json bench/baseline.json
+echo "wrote bench/baseline.json — review wall_ms headroom before committing"

@@ -1,0 +1,121 @@
+#include "compiler/compile_cache.h"
+
+#include "common/logging.h"
+#include "compiler/pass_manager.h"
+
+namespace effact {
+
+uint64_t
+middleEndPresetHash(const CompilerOptions &opts)
+{
+    uint64_t h = 14695981039346656037ULL; // FNV-1a offset basis
+    auto mixByte = [&h](unsigned char byte) {
+        h ^= byte;
+        h *= 1099511628211ULL;
+    };
+    auto mix = [&mixByte](uint64_t v) {
+        for (int byte = 0; byte < 8; ++byte)
+            mixByte((v >> (byte * 8)) & 0xff);
+    };
+    // The executed pipeline spec, not the raw switches: options that
+    // derive the same spec run the same middle end.
+    const std::string spec = opts.pipeline.empty()
+                                 ? pipelineSpecFromOptions(opts)
+                                 : opts.pipeline;
+    mix(spec.size());
+    for (char c : spec)
+        mixByte(static_cast<unsigned char>(c));
+    mix(opts.pipelineMaxIterations);
+    // Back-end switches that are part of the preset identity but not of
+    // the hardware config (see the header on why they are included).
+    mix(opts.schedule ? 1 : 0);
+    mix(opts.streaming ? 1 : 0);
+    mix(opts.fifoDepth);
+    return h;
+}
+
+CompileCacheKey
+middleEndCacheKey(const IrProgram &prog, const CompilerOptions &opts)
+{
+    return {fingerprint(prog), middleEndPresetHash(opts)};
+}
+
+std::shared_ptr<const MiddleEndSnapshot>
+CompileCache::getOrBuild(const CompileCacheKey &key,
+                         const std::function<MiddleEndSnapshot()> &build,
+                         bool *hit)
+{
+    EFFACT_ASSERT(build != nullptr, "compile cache needs a builder");
+    Shard &shard = shardFor(key);
+    std::shared_ptr<Slot> slot;
+    bool builder = false;
+    {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        auto [it, inserted] = shard.entries.try_emplace(key, nullptr);
+        if (inserted) {
+            it->second = std::make_shared<Slot>();
+            builder = true;
+        }
+        slot = it->second;
+    }
+    ++lookups_;
+
+    if (builder) {
+        // Build outside the shard lock: only same-key requesters wait.
+        MiddleEndSnapshot snap = build();
+        {
+            std::lock_guard<std::mutex> lock(slot->mu);
+            slot->snap = std::move(snap);
+            slot->ready = true;
+        }
+        slot->readyCv.notify_all();
+    } else {
+        ++hits_;
+        ++frontendSkipped_;
+        std::unique_lock<std::mutex> lock(slot->mu);
+        slot->readyCv.wait(lock, [&] { return slot->ready; });
+    }
+    if (hit != nullptr)
+        *hit = !builder;
+    // Aliasing shared_ptr: the snapshot's lifetime is the slot's.
+    return {slot, &slot->snap};
+}
+
+StatSet
+CompileCache::statsSnapshot() const
+{
+    const double lookups = double(lookups_.load());
+    const double hit_count = double(hits_.load());
+    StatSet s;
+    s.set("cache.lookups", lookups);
+    s.set("cache.hits", hit_count);
+    s.set("cache.misses", lookups - hit_count);
+    s.set("cache.frontend_skipped", double(frontendSkipped_.load()));
+    s.set("cache.entries", double(entryCount()));
+    return s;
+}
+
+size_t
+CompileCache::entryCount() const
+{
+    size_t n = 0;
+    for (const Shard &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        n += shard.entries.size();
+    }
+    return n;
+}
+
+void
+CompileCache::clear()
+{
+    for (Shard &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        shard.entries.clear();
+    }
+    lookups_ = 0;
+    hits_ = 0;
+    frontendSkipped_ = 0;
+}
+
+} // namespace effact

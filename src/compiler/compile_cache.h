@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Content-addressed cache for the hardware-independent half of a
+ * compile (the middle end: the fixed-point optimization pipeline over
+ * IR). A re-compilation sweep that varies only the hardware config —
+ * e.g. the Fig. 11 preset x SRAM grid — optimizes each (workload,
+ * preset) pair once; every other cell skips straight to the back end
+ * (scheduling, streaming, regalloc, codegen) on a clone of the cached
+ * optimized-IR snapshot.
+ *
+ * Keying. The key is `(fingerprint(IrProgram), preset hash)`:
+ *
+ * - the content half is the order-sensitive structural fingerprint from
+ *   `src/ir` — independently built copies of the same workload hash
+ *   equal, and any real mutation (which also bumps `version()`) changes
+ *   it;
+ * - the preset half covers every `CompilerOptions` field *except* the
+ *   hardware-derived knobs `sramBytes` and `issueWindow`, the two
+ *   fields `Platform` overwrites from its `HardwareConfig`. That split
+ *   is the whole point: jobs that differ only in hardware share an
+ *   entry. Presets that happen to share a pipeline spec but differ in
+ *   back-end switches (e.g. MAD-enhanced vs streaming, both
+ *   `"copyprop,constprop,pre"`) keep separate entries on purpose — it
+ *   costs one extra pipeline run per such pair, keeps hit accounting
+ *   per-(workload, preset) — the unit sweep grids are defined over —
+ *   and stays trivially sound if a future pass consults those switches.
+ *
+ * Concurrency. The store is sharded and mutex-protected, and lookups
+ * are single-flight: the first requester of a key runs the build while
+ * later requesters of the same key block until the snapshot is
+ * published, then clone it. Entries are immutable after publication, so
+ * any thread count and any hit pattern produce byte-identical compiles
+ * — the build count per key is exactly one, which is what makes
+ * `cache.*` statistics deterministic. Per-worker `AnalysisManager`s are
+ * untouched by all of this and stay lock-free.
+ */
+#ifndef EFFACT_COMPILER_COMPILE_CACHE_H
+#define EFFACT_COMPILER_COMPILE_CACHE_H
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/stats.h"
+#include "compiler/pass.h"
+#include "ir/ir.h"
+
+namespace effact {
+
+/** Cache key: structural program content x compiler preset. */
+struct CompileCacheKey
+{
+    uint64_t irFingerprint = 0; ///< `fingerprint(IrProgram)`
+    uint64_t presetHash = 0;    ///< `middleEndPresetHash(CompilerOptions)`
+
+    bool operator==(const CompileCacheKey &o) const
+    {
+        return irFingerprint == o.irFingerprint &&
+               presetHash == o.presetHash;
+    }
+};
+
+/**
+ * FNV-1a hash of the middle-end-relevant compiler preset: the executed
+ * pipeline spec (the explicit `pipeline` string, or the one derived
+ * from the four optimization switches), the fixed-point sweep bound,
+ * and the remaining non-hardware options (`schedule`, `streaming`,
+ * `fifoDepth`). `sramBytes` and `issueWindow` are excluded — `Platform`
+ * rewrites them from `HardwareConfig`, and splitting on them is exactly
+ * what the cache exists to avoid.
+ */
+uint64_t middleEndPresetHash(const CompilerOptions &opts);
+
+/** The full cache key for compiling `prog` under `opts`. */
+CompileCacheKey middleEndCacheKey(const IrProgram &prog,
+                                  const CompilerOptions &opts);
+
+/**
+ * Immutable result of one middle-end run: the optimized (pipelined +
+ * compacted) program and the statistics the run recorded. A cache hit
+ * clones `optimized` (the copy gets a fresh `uid()`, so per-worker
+ * analysis caches can never confuse it with another program) and
+ * replays `stats`, so a hit's compiler statistics are byte-identical to
+ * the miss that built the entry, wall-clock keys included.
+ */
+struct MiddleEndSnapshot
+{
+    IrProgram optimized;
+    StatSet stats;
+};
+
+/**
+ * The sharded, single-flight snapshot store. Opt-in and shared: one
+ * instance serves a whole sweep (`SweepOptions::compileCache`), or any
+ * set of concurrent `Compiler::compile` calls. Entries are never
+ * evicted — the store lives as long as the sweep that owns it, and one
+ * snapshot per (workload, preset) is small next to the jobs themselves.
+ *
+ * Statistics (all monotone, reset only by `clear()`):
+ * - `cache.lookups`  — compiles that consulted the cache;
+ * - `cache.hits`     — lookups served from an existing entry (including
+ *                      ones that waited on an in-flight build);
+ * - `cache.misses`   — lookups that ran the middle end (= entries
+ *                      built; single-flight makes this exactly the
+ *                      distinct-key count, at any thread count);
+ * - `cache.frontend_skipped` — compiles that skipped the optimization
+ *                      pipeline entirely. Equal to `cache.hits` under
+ *                      `Compiler::compile`'s wiring, where every hit
+ *                      reuses the snapshot; tracked separately so a
+ *                      future lookup-only consumer can't skew it;
+ * - `cache.entries`  — entries currently stored.
+ */
+class CompileCache
+{
+  public:
+    CompileCache() = default;
+    CompileCache(const CompileCache &) = delete;
+    CompileCache &operator=(const CompileCache &) = delete;
+
+    /**
+     * Returns the snapshot for `key`, building it if absent. The first
+     * caller for a key runs `build` (outside any shard lock, so other
+     * keys proceed concurrently); concurrent callers for the same key
+     * block until the snapshot is published. `hit` (optional) reports
+     * whether the snapshot came from the cache (true) or from this
+     * call's own `build` (false). `build` must not re-enter the cache.
+     */
+    std::shared_ptr<const MiddleEndSnapshot>
+    getOrBuild(const CompileCacheKey &key,
+               const std::function<MiddleEndSnapshot()> &build,
+               bool *hit = nullptr);
+
+    /** Point-in-time `cache.*` statistics (see class comment). */
+    StatSet statsSnapshot() const;
+
+    /** Entries currently stored (published or in flight). */
+    size_t entryCount() const;
+
+    /** Drops every entry and resets the counters. Not meant to race
+     *  with in-flight compiles (a sweep clears between batches). */
+    void clear();
+
+  private:
+    struct Slot
+    {
+        std::mutex mu;
+        std::condition_variable readyCv;
+        bool ready = false;
+        MiddleEndSnapshot snap;
+    };
+
+    struct KeyHash
+    {
+        size_t operator()(const CompileCacheKey &k) const
+        {
+            // The fingerprints are already well-mixed FNV hashes; one
+            // multiply keeps the two halves from cancelling.
+            return static_cast<size_t>(k.irFingerprint * 1099511628211ULL ^
+                                       k.presetHash);
+        }
+    };
+
+    struct Shard
+    {
+        mutable std::mutex mu;
+        std::unordered_map<CompileCacheKey, std::shared_ptr<Slot>, KeyHash>
+            entries;
+    };
+
+    Shard &shardFor(const CompileCacheKey &key)
+    {
+        return shards_[KeyHash{}(key) % kShards];
+    }
+
+    static constexpr size_t kShards = 16;
+    std::array<Shard, kShards> shards_;
+    std::atomic<uint64_t> lookups_{0};
+    std::atomic<uint64_t> hits_{0};
+    std::atomic<uint64_t> frontendSkipped_{0};
+};
+
+} // namespace effact
+
+#endif // EFFACT_COMPILER_COMPILE_CACHE_H

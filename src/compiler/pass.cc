@@ -1,6 +1,7 @@
 #include "compiler/pass.h"
 
 #include "common/logging.h"
+#include "compiler/compile_cache.h"
 #include "compiler/pass_manager.h"
 
 namespace effact {
@@ -15,9 +16,52 @@ Compiler::compile(IrProgram &prog)
 MachineProgram
 Compiler::compile(IrProgram &prog, AnalysisManager &analyses)
 {
+    return compile(prog, analyses, nullptr);
+}
+
+MachineProgram
+Compiler::compile(IrProgram &prog, AnalysisManager &analyses,
+                  CompileCache *cache)
+{
     stats_.clear();
+    if (cache == nullptr) {
+        runMiddleEnd(prog, analyses, stats_);
+        return runBackEnd(prog, analyses, stats_);
+    }
+
+    // The cache key is computed over the *input* program; the build
+    // below mutates it, so key first.
+    const CompileCacheKey key = middleEndCacheKey(prog, opts_);
+    bool hit = false;
+    std::shared_ptr<const MiddleEndSnapshot> snap = cache->getOrBuild(
+        key,
+        [this, &prog, &analyses] {
+            MiddleEndSnapshot built;
+            runMiddleEnd(prog, analyses, built.stats);
+            built.optimized = prog; // immutable copy (fresh uid)
+            return built;
+        },
+        &hit);
+    if (hit) {
+        // Skip the whole optimization pipeline: adopt a clone of the
+        // cached optimized IR. The clone's fresh uid keeps per-worker
+        // analysis caches sound.
+        prog = snap->optimized;
+    }
+    // Replaying the snapshot's stats (also on the miss path, where they
+    // are exactly what runMiddleEnd just recorded) keeps hit and miss
+    // compiles byte-identical except for the cache.hit marker.
+    stats_.merge(snap->stats);
+    stats_.set("cache.hit", hit ? 1 : 0);
+    return runBackEnd(prog, analyses, stats_);
+}
+
+void
+Compiler::runMiddleEnd(IrProgram &prog, AnalysisManager &analyses,
+                       StatSet &stats) const
+{
     const size_t before = prog.liveCount();
-    stats_.set("input.instructions", double(before));
+    stats.set("input.instructions", double(before));
 
     // SSA optimizations: a declarative pipeline run to a bounded fixed
     // point. The repeat subsumes the old special-cased "copy-prop again
@@ -27,7 +71,7 @@ Compiler::compile(IrProgram &prog, AnalysisManager &analyses)
         opts_.pipeline.empty() ? pipelineSpecFromOptions(opts_)
                                : opts_.pipeline);
     pipeline.setMaxIterations(opts_.pipelineMaxIterations);
-    pipeline.run(prog, analyses, stats_);
+    pipeline.run(prog, analyses, stats);
     EFFACT_ASSERT(pipeline.converged(),
                   "optimization pipeline '%s' did not converge in %zu "
                   "sweeps",
@@ -35,18 +79,23 @@ Compiler::compile(IrProgram &prog, AnalysisManager &analyses)
     prog.compact();
 
     const size_t after = prog.liveCount();
-    stats_.set("optimized.instructions", double(after));
-    stats_.set("optimized.reductionPct",
-               before == 0 ? 0.0
-                           : 100.0 * double(before - after) /
-                                 double(before));
+    stats.set("optimized.instructions", double(after));
+    stats.set("optimized.reductionPct",
+              before == 0 ? 0.0
+                          : 100.0 * double(before - after) /
+                                double(before));
+}
 
-    auto order = runScheduler(prog, analyses, opts_.schedule, stats_);
+MachineProgram
+Compiler::runBackEnd(const IrProgram &prog, AnalysisManager &analyses,
+                     StatSet &stats) const
+{
+    auto order = runScheduler(prog, analyses, opts_.schedule, stats);
     auto streaming = runStreaming(prog, order, opts_.streaming,
-                                  opts_.fifoDepth, stats_);
+                                  opts_.fifoDepth, stats);
     MachineProgram mp = runRegAllocAndCodegen(prog, order, streaming,
-                                              opts_, stats_);
-    stats_.set("machine.instructions", double(mp.insts.size()));
+                                              opts_, stats);
+    stats.set("machine.instructions", double(mp.insts.size()));
     return mp;
 }
 

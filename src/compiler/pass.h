@@ -108,7 +108,17 @@ MachineProgram runRegAllocAndCodegen(const IrProgram &prog,
                                      const CompilerOptions &opts,
                                      StatSet &stats);
 
-/** Full pipeline: optimize, schedule, allocate, emit. */
+class CompileCache; // compiler/compile_cache.h
+
+/**
+ * Full pipeline: optimize, schedule, allocate, emit — split at the
+ * hardware boundary into an explicit **middle end** (the fixed-point
+ * optimization pipeline over IR, depending only on the program and the
+ * pipeline preset) and **back end** (scheduling, streaming, regalloc,
+ * codegen — everything `HardwareConfig`-dependent). The split is what
+ * lets a shared `CompileCache` reuse one middle-end run across every
+ * hardware point of a re-compilation sweep.
+ */
 class Compiler
 {
   public:
@@ -125,6 +135,38 @@ class Compiler
      * hits the cache. The manager must not be shared across threads.
      */
     MachineProgram compile(IrProgram &prog, AnalysisManager &analyses);
+
+    /**
+     * Same, consulting a shared `CompileCache` (may be null = uncached).
+     * On a hit the middle end is skipped: `prog` is replaced by a clone
+     * of the cached optimized-IR snapshot and the cached middle-end
+     * statistics are replayed, so the compile's results — machine code,
+     * stats — are byte-identical to the miss that built the entry. The
+     * cache is safe to share across threads; `analyses` still is not.
+     */
+    MachineProgram compile(IrProgram &prog, AnalysisManager &analyses,
+                           CompileCache *cache);
+
+    /**
+     * Middle end: runs the declarative optimization pipeline to its
+     * bounded fixed point (asserting convergence) and compacts the
+     * program. Hardware-independent by construction — no
+     * `HardwareConfig`-derived option is consulted. Records
+     * `input.instructions`, `pass.*`, `pipeline.*` and `optimized.*`
+     * into `stats`.
+     */
+    void runMiddleEnd(IrProgram &prog, AnalysisManager &analyses,
+                      StatSet &stats) const;
+
+    /**
+     * Back end: global scheduling, streaming decisions, SRAM regalloc
+     * and machine-code emission over the (already optimized) program.
+     * This is the `HardwareConfig`-dependent half (`sramBytes`,
+     * `issueWindow`, `fifoDepth`, the schedule/streaming switches).
+     */
+    MachineProgram runBackEnd(const IrProgram &prog,
+                              AnalysisManager &analyses,
+                              StatSet &stats) const;
 
     const StatSet &stats() const { return stats_; }
     const CompilerOptions &options() const { return opts_; }

@@ -158,6 +158,20 @@ struct IrProgram
 /** Name used in the Fig. 3 histogram for an instruction. */
 std::string mixKey(const IrInst &inst);
 
+/**
+ * Order-sensitive 64-bit fingerprint over the instruction stream and
+ * the semantic program metadata (degree, lanes, object shapes):
+ * word-wise FNV-1a with a splitmix64 finalizer, the cache-lookup-rate
+ * sibling of `isa`'s bytewise `fingerprint(MachineProgram)`. Two
+ * programs
+ * fingerprint equal iff they are structurally identical inputs to the
+ * compiler; display-only metadata (`name`, object names) and the
+ * process-local identity (`uid()`, `version()`) are deliberately
+ * excluded, so independently built copies of the same workload hash
+ * equal. This is the content half of the `CompileCache` key.
+ */
+uint64_t fingerprint(const IrProgram &prog);
+
 } // namespace effact
 
 #endif // EFFACT_IR_IR_H

@@ -21,8 +21,15 @@ Platform::run(Workload &workload) const
 PlatformResult
 Platform::run(Workload &workload, AnalysisManager &analyses) const
 {
+    return run(workload, analyses, nullptr);
+}
+
+PlatformResult
+Platform::run(Workload &workload, AnalysisManager &analyses,
+              CompileCache *cache) const
+{
     Compiler compiler(copts_);
-    MachineProgram mp = compiler.compile(workload.program, analyses);
+    MachineProgram mp = compiler.compile(workload.program, analyses, cache);
 
     Simulator sim(hw_);
     PlatformResult result;

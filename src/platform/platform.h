@@ -15,6 +15,7 @@
 namespace effact {
 
 class AnalysisManager; // compiler/pass_manager.h
+class CompileCache;    // compiler/compile_cache.h
 
 /** Benchmark-level result. */
 struct PlatformResult
@@ -46,6 +47,16 @@ class Platform
      * share one manager between concurrently running jobs.
      */
     PlatformResult run(Workload &workload, AnalysisManager &analyses) const;
+
+    /**
+     * Same, additionally consulting a shared `CompileCache` (may be
+     * null = uncached): the hardware-independent middle end of the
+     * compile is reused across every `Platform` that shares the cache,
+     * so a hardware sweep optimizes each (workload, preset) once. Hits
+     * are byte-identical to uncached compiles (see `Compiler::compile`).
+     */
+    PlatformResult run(Workload &workload, AnalysisManager &analyses,
+                       CompileCache *cache) const;
 
     const HardwareConfig &hardware() const { return hw_; }
     const CompilerOptions &compilerOptions() const { return copts_; }

@@ -9,9 +9,11 @@ namespace effact {
 
 namespace {
 
-/** Runs one job against a worker-owned analysis manager. */
+/** Runs one job against a worker-owned analysis manager (and, when the
+ *  engine has one, the shared compile cache). */
 SweepResult
-runJob(const SweepJob &job, size_t index, AnalysisManager &analyses)
+runJob(const SweepJob &job, size_t index, AnalysisManager &analyses,
+       CompileCache *cache)
 {
     EFFACT_ASSERT(job.build != nullptr, "sweep job '%s' has no workload",
                   job.name.c_str());
@@ -20,7 +22,7 @@ runJob(const SweepJob &job, size_t index, AnalysisManager &analyses)
     SweepResult r;
     r.name = job.name;
     r.jobIndex = index;
-    r.platform = platform.run(workload, analyses);
+    r.platform = platform.run(workload, analyses, cache);
     return r;
 }
 
@@ -74,7 +76,8 @@ SweepEngine::runAll()
         workers_used_ = 1;
         AnalysisManager analyses;
         for (size_t i = 0; i < jobs_.size(); ++i)
-            results_[i] = runJob(jobs_[i], i, analyses);
+            results_[i] = runJob(jobs_[i], i, analyses,
+                                 opts_.compileCache);
     } else {
         const size_t n_workers = std::min(want, jobs_.size());
         workers_used_ = n_workers;
@@ -86,7 +89,8 @@ SweepEngine::runAll()
         ThreadPool pool(n_workers);
         for (size_t i = 0; i < jobs_.size(); ++i) {
             pool.submit([this, i, &analyses](size_t worker) {
-                results_[i] = runJob(jobs_[i], i, analyses[worker]);
+                results_[i] = runJob(jobs_[i], i, analyses[worker],
+                                     opts_.compileCache);
             });
         }
         pool.wait();
@@ -122,6 +126,11 @@ SweepEngine::runAll()
         aggregates_.set(key, value);
     aggregates_.set("sweep.jobs", double(jobs_.size()));
     aggregates_.set("sweep.threads", double(workers_used_));
+    // Shared-cache totals ride along under their own `cache.*` keys.
+    // Cumulative for the cache's lifetime: a cache shared across
+    // engines reports its running totals, not this batch's delta.
+    if (opts_.compileCache != nullptr)
+        aggregates_.merge(opts_.compileCache->statsSnapshot());
     return results_;
 }
 

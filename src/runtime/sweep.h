@@ -4,14 +4,16 @@
  * options) jobs, compile and simulate them concurrently on a fixed-size
  * `ThreadPool`, and collect results in deterministic submission order.
  * Every worker owns a private `AnalysisManager`, so analysis caching
- * needs no locking. (The cache is keyed on the program's process-unique
- * id, so it only pays off when a worker compiles the same program
- * twice — not across today's fresh-built jobs; the per-worker manager
- * is the no-lock home for future re-compilation sweeps.) Each job is
- * pure given its inputs, so results — simulated cycles, machine-code
- * fingerprints, stat aggregates — are byte-identical at any thread
- * count. `threads = 1` is the serial path: jobs run in submission order
- * on the calling thread with no pool.
+ * needs no locking. Cross-job reuse is the (opt-in) shared
+ * `CompileCache`: keyed on program *content* plus the compiler preset
+ * — not process-local ids — it deduplicates the hardware-independent
+ * middle end across jobs, so a preset x hardware grid optimizes each
+ * (workload, preset) once. Each job is pure given its inputs, and
+ * cache entries are immutable single-flight snapshots, so results —
+ * simulated cycles, machine-code fingerprints, stat aggregates — are
+ * byte-identical at any thread count and any hit pattern. `threads = 1`
+ * is the serial path: jobs run in submission order on the calling
+ * thread with no pool.
  */
 #ifndef EFFACT_RUNTIME_SWEEP_H
 #define EFFACT_RUNTIME_SWEEP_H
@@ -20,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "compiler/compile_cache.h"
 #include "platform/platform.h"
 #include "runtime/thread_pool.h"
 
@@ -51,6 +54,18 @@ struct SweepOptions
 {
     /** Worker count; 1 = serial on the calling thread (no pool). */
     size_t threads = 1;
+    /**
+     * Opt-in shared compile cache: when set, every job's compile
+     * consults it, so the hardware-independent middle end runs once per
+     * (workload, preset) key instead of once per job. The store is
+     * sharded, mutex-protected and single-flight; per-worker
+     * `AnalysisManager`s stay lock-free. Results are byte-identical to
+     * an uncached run at any thread count and any hit pattern. The
+     * caller owns the cache (it may outlive the engine and be shared
+     * across engines); its cumulative `cache.*` stats are merged into
+     * the engine's aggregates after `runAll()`.
+     */
+    CompileCache *compileCache = nullptr;
 };
 
 /**

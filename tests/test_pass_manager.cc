@@ -340,6 +340,38 @@ TEST(FixedPoint, DepGraphBuiltAtMostOncePerCompile)
 
 // --- Equivalence with the pre-pass-manager backend ------------------------
 
+TEST(Equivalence, ExplicitMiddleAndBackEndComposeToCompile)
+{
+    // The hardware split: running the two halves by hand must be
+    // indistinguishable from `compile`, for every ablation preset, and
+    // the middle end must be deterministic over structurally identical
+    // inputs (the property the compile cache keys rely on).
+    const size_t sram = size_t(27) << 20;
+    const std::vector<CompilerOptions> presets = {
+        Platform::baselineOptions(sram), Platform::madEnhancedOptions(sram),
+        Platform::streamingOptions(sram), Platform::fullOptions(sram)};
+    for (const CompilerOptions &opts : presets) {
+        Compiler compiler(opts);
+
+        Workload whole = buildDbLookup(FheParams{12, 6, 2}, 32);
+        AnalysisManager am1;
+        const MachineProgram via_compile =
+            compiler.compile(whole.program, am1);
+
+        Workload split = buildDbLookup(FheParams{12, 6, 2}, 32);
+        AnalysisManager am2;
+        StatSet stats;
+        compiler.runMiddleEnd(split.program, am2, stats);
+        const MachineProgram via_split =
+            compiler.runBackEnd(split.program, am2, stats);
+
+        EXPECT_EQ(fingerprint(via_compile), fingerprint(via_split));
+        // Same optimized IR too: the middle end is a pure function of
+        // (program content, preset).
+        EXPECT_EQ(fingerprint(whole.program), fingerprint(split.program));
+    }
+}
+
 TEST(Equivalence, FixedPointMatchesLegacySweepOnAllAblationPresets)
 {
     // Machine code and simulated cycles must be bit-identical to the

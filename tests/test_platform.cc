@@ -8,6 +8,8 @@
 
 #include <chrono>
 
+#include "compiler/compile_cache.h"
+#include "compiler/pass_manager.h"
 #include "model/area_power.h"
 #include "model/baselines.h"
 #include "model/efficiency.h"
@@ -106,6 +108,44 @@ TEST(Platform, AblationConfigsCompileWithinBudget)
         EXPECT_LT(elapsed.count(), kBudgetSecs) << c.name;
         EXPECT_GT(r.benchTimeMs, 0.0) << c.name;
     }
+}
+
+TEST(Platform, SharedCompileCacheAcrossHardwarePointsIsTransparent)
+{
+    // An SRAM sweep of one (workload, preset) through Platform::run
+    // with a shared cache: the first point builds the middle-end
+    // snapshot, every further point reuses it, and each point's result
+    // is identical to its uncached run.
+    const auto configs = ablationConfigs(size_t(6) << 20);
+    const CompilerOptions opts = configs.back().opts; // full preset
+    const std::vector<size_t> sram_points = {
+        size_t(6) << 20, size_t(3) << 20, size_t(12) << 20};
+
+    CompileCache cache;
+    AnalysisManager analyses;
+    for (size_t i = 0; i < sram_points.size(); ++i) {
+        HardwareConfig hw = HardwareConfig::asicEffact27();
+        hw.sramBytes = sram_points[i];
+        CompilerOptions copts = opts;
+        copts.sramBytes = sram_points[i];
+        Platform platform(hw, copts);
+
+        Workload cached_w = smallBoot();
+        const PlatformResult cached =
+            platform.run(cached_w, analyses, &cache);
+        EXPECT_EQ(cached.compilerStats.get("cache.hit"), i == 0 ? 0.0
+                                                                : 1.0);
+
+        Workload plain_w = smallBoot();
+        const PlatformResult plain = platform.run(plain_w);
+        EXPECT_EQ(cached.machineFingerprint, plain.machineFingerprint);
+        EXPECT_DOUBLE_EQ(cached.sim.cycles, plain.sim.cycles);
+        EXPECT_DOUBLE_EQ(cached.dramGb, plain.dramGb);
+    }
+    const StatSet cs = cache.statsSnapshot();
+    EXPECT_EQ(cs.get("cache.lookups"), 3.0);
+    EXPECT_EQ(cs.get("cache.misses"), 1.0);
+    EXPECT_EQ(cs.get("cache.frontend_skipped"), 2.0);
 }
 
 TEST(Platform, ScalingUpResourcesHelps)

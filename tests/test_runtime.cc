@@ -15,6 +15,7 @@
 #include <mutex>
 #include <set>
 
+#include "compiler/compile_cache.h"
 #include "runtime/sweep.h"
 #include "runtime/thread_pool.h"
 
@@ -228,6 +229,57 @@ TEST(SweepEngine, DeterministicAcrossThreadCounts)
     agg8["sweep.threads"] = agg1.at("sweep.threads");
     EXPECT_EQ(agg1, agg2);
     EXPECT_EQ(agg1, agg8);
+}
+
+TEST(SweepEngine, DeterministicAcrossThreadCountsWithSharedCache)
+{
+    // The determinism guarantee must survive the shared compile cache
+    // at any thread count *and any hit pattern*: which worker builds a
+    // contested entry is racy, but single-flight entries are immutable
+    // and replayed, so results and aggregates cannot tell. The uncached
+    // serial run is the oracle.
+    SweepEngine uncached({1});
+    for (SweepJob &job : smallGrid())
+        uncached.submit(std::move(job));
+    const std::vector<SweepResult> &oracle = uncached.runAll();
+
+    // smallGrid: two hardware configs over three presets; the workload
+    // differs per preset, the hardware only in back-end knobs, so the
+    // cache holds 3 entries for 6 jobs.
+    std::map<std::string, double> first_agg;
+    for (size_t threads : {size_t(1), size_t(2), size_t(8)}) {
+        CompileCache cache;
+        SweepEngine engine({threads, &cache});
+        for (SweepJob &job : smallGrid())
+            engine.submit(std::move(job));
+        const std::vector<SweepResult> &cached = engine.runAll();
+
+        ASSERT_EQ(cached.size(), oracle.size());
+        for (size_t i = 0; i < oracle.size(); ++i) {
+            EXPECT_DOUBLE_EQ(cached[i].platform.sim.cycles,
+                             oracle[i].platform.sim.cycles)
+                << oracle[i].name << " @" << threads;
+            EXPECT_EQ(cached[i].platform.machineFingerprint,
+                      oracle[i].platform.machineFingerprint)
+                << oracle[i].name << " @" << threads;
+            EXPECT_DOUBLE_EQ(cached[i].platform.benchTimeMs,
+                             oracle[i].platform.benchTimeMs)
+                << oracle[i].name << " @" << threads;
+        }
+        EXPECT_EQ(engine.aggregates().get("cache.lookups"), 6.0);
+        EXPECT_EQ(engine.aggregates().get("cache.misses"), 3.0);
+        EXPECT_EQ(engine.aggregates().get("cache.frontend_skipped"), 3.0);
+
+        // Aggregates (wall-clock keys aside) are identical across
+        // thread counts, cache.* included — hit totals don't depend on
+        // which worker won a build race.
+        auto agg = deterministicAggregates(engine.aggregates());
+        agg["sweep.threads"] = 1.0;
+        if (first_agg.empty())
+            first_agg = agg;
+        else
+            EXPECT_EQ(first_agg, agg) << "threads=" << threads;
+    }
 }
 
 TEST(SweepEngine, AggregatesSumMinMaxMean)
