@@ -105,7 +105,9 @@ runFig11Grid()
 
     GridResult grid;
     CompileCache cache;
-    SweepEngine engine({defaultThreadCount(), &cache});
+    // Verification forced off batch-wide: the lane measures the
+    // compiler and simulator, never the checkpoint verifiers.
+    SweepEngine engine({defaultThreadCount(), &cache, /*verifyLevel=*/0});
     for (size_t sram : sram_points) {
         for (const Step &step : steps) {
             HardwareConfig cfg = hw;
@@ -136,6 +138,15 @@ runFig11Grid()
 int
 emit(const char *path)
 {
+    // Recorded perf numbers must be comparable run to run: refuse to
+    // measure with checkpoint verification switched on via the
+    // environment — a verified compile is a different workload than the
+    // one the checked-in baseline was recorded from. (The sweep below
+    // additionally forces verifyLevel 0 on every job.)
+    EFFACT_ASSERT(defaultVerifyLevel() == 0,
+                  "perf lane refuses to run with EFFACT_VERIFY set: "
+                  "verification would pollute the recorded wall-clock");
+
     const SimSpeedResult speed = measureSimSpeed();
     const GridResult grid = runFig11Grid();
 

@@ -15,9 +15,8 @@ hbmBytes(const MachInst &inst, size_t residue_bytes)
     size_t bytes = 0;
     if (inst.op == Opcode::LOAD_RES || inst.op == Opcode::STORE_RES)
         bytes += residue_bytes;
-    if (inst.src0.kind == OperandKind::Stream &&
-        inst.op != Opcode::STORE_RES)
-        bytes += residue_bytes; // streaming fill from DRAM
+    // Streaming fills from DRAM; FU-to-FU FIFO operands move nothing.
+    bytes += static_cast<size_t>(inst.dramStreamSources()) * residue_bytes;
     return bytes;
 }
 

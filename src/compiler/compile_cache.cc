@@ -28,6 +28,9 @@ middleEndPresetHash(const CompilerOptions &opts)
     mix(opts.pipelineMaxIterations);
     // Back-end switches that are part of the preset identity but not of
     // the hardware config (see the header on why they are included).
+    // `verifyLevel` is deliberately absent: checkpoint verification
+    // never changes the emitted code, so verified and unverified
+    // compiles of the same preset share one cache entry.
     mix(opts.schedule ? 1 : 0);
     mix(opts.streaming ? 1 : 0);
     mix(opts.fifoDepth);

@@ -1,10 +1,33 @@
 #include "compiler/pass.h"
 
+#include <chrono>
+
 #include "common/logging.h"
 #include "compiler/compile_cache.h"
 #include "compiler/pass_manager.h"
+#include "verify/verify.h"
 
 namespace effact {
+
+namespace {
+
+/** Runs `verify()` timed, accumulates the checkpoint stats, and panics
+ *  via `enforceVerified` when the report is dirty. */
+template <typename VerifyFn>
+void
+checkpoint(VerifyFn &&verify, const char *context, StatSet &stats)
+{
+    using Clock = std::chrono::steady_clock;
+    const Clock::time_point t0 = Clock::now();
+    const VerifyReport rep = verify();
+    const std::chrono::duration<double, std::milli> ms =
+        Clock::now() - t0;
+    stats.add("verify.checks", double(rep.checksRun));
+    stats.add("verify.ms", ms.count());
+    enforceVerified(rep, context);
+}
+
+} // namespace
 
 MachineProgram
 Compiler::compile(IrProgram &prog)
@@ -63,6 +86,13 @@ Compiler::runMiddleEnd(IrProgram &prog, AnalysisManager &analyses,
     const size_t before = prog.liveCount();
     stats.set("input.instructions", double(before));
 
+    // Checkpoint the *input* too: a malformed builder/frontend program
+    // should be reported against the frontend, not the first pass that
+    // trips over it.
+    if (opts_.verifyLevel > 0)
+        checkpoint([&] { return verifyIr(prog); }, "middle-end input",
+                   stats);
+
     // SSA optimizations: a declarative pipeline run to a bounded fixed
     // point. The repeat subsumes the old special-cased "copy-prop again
     // after the Eq. 5 peephole" cleanup and catches any second-order
@@ -71,12 +101,20 @@ Compiler::runMiddleEnd(IrProgram &prog, AnalysisManager &analyses,
         opts_.pipeline.empty() ? pipelineSpecFromOptions(opts_)
                                : opts_.pipeline);
     pipeline.setMaxIterations(opts_.pipelineMaxIterations);
+    pipeline.setVerifyLevel(opts_.verifyLevel);
     pipeline.run(prog, analyses, stats);
     EFFACT_ASSERT(pipeline.converged(),
                   "optimization pipeline '%s' did not converge in %zu "
                   "sweeps",
                   pipeline.spec().c_str(), pipeline.maxIterations());
     prog.compact();
+
+    // The program leaving here is what a `CompileCache` snapshots and
+    // replays into every later hit, so verify it one last time after
+    // compaction (which renumbers every operand).
+    if (opts_.verifyLevel > 0)
+        checkpoint([&] { return verifyIr(prog); }, "middle-end output",
+                   stats);
 
     const size_t after = prog.liveCount();
     stats.set("optimized.instructions", double(after));
@@ -96,6 +134,15 @@ Compiler::runBackEnd(const IrProgram &prog, AnalysisManager &analyses,
     MachineProgram mp = runRegAllocAndCodegen(prog, order, streaming,
                                               opts_, stats);
     stats.set("machine.instructions", double(mp.insts.size()));
+    // Post-backend checkpoint: the machine program handed to the
+    // scheduler-graph builder and the simulator is well-formed (register
+    // bounds, FIFO producer/consumer pairing, SRAM budget).
+    if (opts_.verifyLevel > 0) {
+        MachVerifyBudget budget;
+        budget.sramBytes = opts_.sramBytes;
+        checkpoint([&] { return verifyMachine(mp, budget); }, "back end",
+                   stats);
+    }
     return mp;
 }
 

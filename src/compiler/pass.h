@@ -13,6 +13,8 @@
 
 namespace effact {
 
+int defaultVerifyLevel(); // verify/verify.h (EFFACT_VERIFY)
+
 /** Which optimizations run; switches drive the Fig. 11 ablation. */
 struct CompilerOptions
 {
@@ -45,6 +47,18 @@ struct CompilerOptions
      *  regalloc measures spill-reload pressure); `Platform` overwrites
      *  it with `HardwareConfig::issueWindow`. */
     size_t issueWindow = 64;
+    /**
+     * Checkpoint verification level: 0 = off, > 0 = run the IR verifier
+     * after every optimization pass and at the middle-end boundaries,
+     * and the machine verifier at back-end exit, panicking on the first
+     * malformed program (see verify/verify.h). Defaults to the
+     * `EFFACT_VERIFY` environment variable so test binaries opt in
+     * without code changes; Release benches leave it off. Verification
+     * never changes the emitted code, so the level is deliberately NOT
+     * part of `middleEndPresetHash` — verified and unverified compiles
+     * share `CompileCache` entries.
+     */
+    int verifyLevel = defaultVerifyLevel();
 };
 
 // --- Individual passes ----------------------------------------------------

@@ -5,6 +5,7 @@
 #include <chrono>
 
 #include "common/logging.h"
+#include "verify/verify.h"
 
 namespace effact {
 
@@ -262,6 +263,21 @@ PassManager::run(IrProgram &prog, AnalysisManager &analyses, StatSet &stats)
                       double(live_before) - double(prog.liveCount()));
             stats.add(prefix + ".changed", changed ? 1 : 0);
             sweep_changed = sweep_changed || changed;
+            // Pass-boundary checkpoint: a pass that changed the IR must
+            // leave it well-formed. Quiescent passes are skipped — they
+            // could not have broken anything the previous checkpoint
+            // already accepted.
+            if (verifyLevel_ > 0 && changed) {
+                const Clock::time_point v0 = Clock::now();
+                const VerifyReport vr = verifyIr(prog);
+                const std::chrono::duration<double, std::milli> vms =
+                    Clock::now() - v0;
+                stats.add("verify.checks", double(vr.checksRun));
+                stats.add("verify.ms", vms.count());
+                enforceVerified(vr, (std::string("pass '") +
+                                     pass_ref.name() + "'")
+                                        .c_str());
+            }
         }
         if (!sweep_changed) {
             stats.set("pipeline.iterations", double(sweeps));

@@ -122,6 +122,15 @@ class PassManager
     size_t maxIterations() const { return maxIterations_; }
 
     /**
+     * When > 0, the IR verifier runs after every pass that reported a
+     * change and the manager panics (naming the pass and the violated
+     * invariant) on the first malformed program. Checkpoint cost is
+     * recorded under `verify.checks` / `verify.ms`.
+     */
+    void setVerifyLevel(int level) { verifyLevel_ = level; }
+    int verifyLevel() const { return verifyLevel_; }
+
+    /**
      * Runs the pipeline on `prog` to a fixed point; returns the number
      * of sweeps executed. `converged()` reports whether the last sweep
      * was change-free (always true for an empty pipeline).
@@ -133,6 +142,7 @@ class PassManager
   private:
     std::vector<std::unique_ptr<Pass>> passes_;
     size_t maxIterations_ = 64;
+    int verifyLevel_ = 0;
     bool converged_ = true;
 };
 

@@ -57,16 +57,27 @@ runRegAllocAndCodegen(const IrProgram &prog, const std::vector<int> &order,
             if (operand >= 0)
                 last_use[operand] = std::max(last_use[operand], pos[i]);
     }
+    // Which values stream straight from their FU to a store. Computed
+    // in a pass of its own BEFORE the needs_reg scan: a store always
+    // follows its operand in value order, so folding this into the scan
+    // below would visit the producer before the flag is set, hand the
+    // value a register interval, and let linear scan spill it — whose
+    // spill store would then consume the producer's one-shot FIFO token
+    // and leave the real streamed store with an unproduced token
+    // (caught by mach.stream.producer at the back-end checkpoint).
     std::vector<uint8_t> value_streams_to_store(n, 0);
+    for (size_t i = 0; i < n; ++i) {
+        const IrInst &inst = prog.insts[i];
+        if (!inst.dead && inst.op == IrOp::Store &&
+            streaming.streamedStore[i] && inst.a >= 0)
+            value_streams_to_store[inst.a] = 1;
+    }
     for (size_t i = 0; i < n; ++i) {
         const IrInst &inst = prog.insts[i];
         if (inst.dead)
             continue;
-        if (inst.op == IrOp::Store) {
-            if (streaming.streamedStore[i] && inst.a >= 0)
-                value_streams_to_store[inst.a] = 1;
+        if (inst.op == IrOp::Store)
             continue; // stores produce no value
-        }
         if (inst.op == IrOp::Load && streaming.streamedLoad[i])
             continue; // consumer reads the FIFO
         if (streaming.fifoForward[i])
@@ -219,6 +230,7 @@ runRegAllocAndCodegen(const IrProgram &prog, const std::vector<int> &order,
     MachineProgram mp;
     mp.residueBytes = residue_bytes;
     mp.numRegs = num_regs;
+    mp.scratchRegs = num_scratch;
 
     // Values live in scratch after a reload (round robin).
     int next_scratch = 0;
@@ -308,22 +320,10 @@ runRegAllocAndCodegen(const IrProgram &prog, const std::vector<int> &order,
         else if (inst.b >= 0)
             mi.src1 = operandFor(inst.b, mp.insts);
 
-        if (inst.op == IrOp::Mac && inst.c >= 0) {
-            // Destructive accumulate: the dest register holds c. If c
-            // is still live afterwards, copy it aside first.
-            Operand acc = operandFor(inst.c, mp.insts);
-            if (last_use[inst.c] > pos[i] &&
-                acc.kind == OperandKind::Reg && assigned[i] >= 0) {
-                MachInst cp;
-                cp.op = Opcode::VEC_COPY;
-                cp.dest = Operand::regOp(assigned[i]);
-                cp.src0 = acc;
-                cp.irId = idx;
-                mp.insts.push_back(cp);
-                acc = cp.dest;
-            }
-            mi.dest = acc;
-        } else if (value_streams_to_store[i]) {
+        if (inst.op == IrOp::Mac && inst.c >= 0)
+            mi.src2 = operandFor(inst.c, mp.insts);
+
+        if (value_streams_to_store[i]) {
             mi.dest = Operand::stream(static_cast<u64>(i));
         } else if (streaming.fifoForward[i]) {
             mi.dest = Operand::stream(static_cast<u64>(i));

@@ -59,6 +59,45 @@ IrProgram::compact()
     bumpVersion();
 }
 
+const char *
+irOpName(IrOp op)
+{
+    switch (op) {
+      case IrOp::Load: return "Load";
+      case IrOp::Store: return "Store";
+      case IrOp::Mul: return "Mul";
+      case IrOp::Add: return "Add";
+      case IrOp::Sub: return "Sub";
+      case IrOp::Mac: return "Mac";
+      case IrOp::Ntt: return "Ntt";
+      case IrOp::Intt: return "Intt";
+      case IrOp::Auto: return "Auto";
+      case IrOp::Copy: return "Copy";
+    }
+    panic("unknown IrOp %d", static_cast<int>(op));
+}
+
+std::string
+display(const IrInst &inst)
+{
+    std::string s = irOpName(inst.op);
+    if (inst.a >= 0)
+        s += " v" + std::to_string(inst.a);
+    if (inst.useImm)
+        s += ", #" + std::to_string(inst.imm);
+    else if (inst.b >= 0)
+        s += ", v" + std::to_string(inst.b);
+    if (inst.c >= 0)
+        s += ", acc v" + std::to_string(inst.c);
+    if (inst.mem.object >= 0)
+        s += ", obj" + std::to_string(inst.mem.object) + "[" +
+             std::to_string(inst.mem.index) + "]";
+    s += " [q" + std::to_string(inst.modulus) + "]";
+    if (inst.dead)
+        s += " (dead)";
+    return s;
+}
+
 std::string
 mixKey(const IrInst &inst)
 {

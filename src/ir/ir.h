@@ -158,6 +158,16 @@ struct IrProgram
 /** Name used in the Fig. 3 histogram for an instruction. */
 std::string mixKey(const IrInst &inst);
 
+/** Mnemonic for an IR operation. */
+const char *irOpName(IrOp op);
+
+/**
+ * Human-readable rendering of one instruction ("Mac v3, v7, acc v1
+ * [q2]"), the IR sibling of `isa`'s `disassemble`: verifier and pass
+ * diagnostics use it to name the offending instruction.
+ */
+std::string display(const IrInst &inst);
+
 /**
  * Order-sensitive 64-bit fingerprint over the instruction stream and
  * the semantic program metadata (degree, lanes, object shapes):

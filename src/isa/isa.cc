@@ -25,7 +25,7 @@ fingerprint(const MachineProgram &prog)
     mix(prog.streamedOps);
     for (const MachInst &mi : prog.insts) {
         mix(static_cast<u64>(mi.op));
-        for (const Operand *o : {&mi.dest, &mi.src0, &mi.src1}) {
+        for (const Operand *o : {&mi.dest, &mi.src0, &mi.src1, &mi.src2}) {
             mix(static_cast<u64>(o->kind));
             mix(static_cast<u64>(static_cast<int64_t>(o->reg)));
             mix(o->value);
@@ -86,6 +86,8 @@ disassemble(const MachInst &inst)
         os << ", " << operandStr(inst.src0);
     if (inst.src1.kind != OperandKind::None)
         os << ", " << operandStr(inst.src1);
+    if (inst.src2.kind != OperandKind::None)
+        os << ", acc " << operandStr(inst.src2);
     os << " [q" << inst.modulus << "]";
     if (inst.op == Opcode::AUTO)
         os << " elt=" << inst.imm;

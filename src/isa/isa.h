@@ -66,6 +66,15 @@ struct MachInst
     Operand dest;
     Operand src0;
     Operand src1;
+    /**
+     * Third source: the MMAC accumulator (`dest = src0 * src1 + src2`).
+     * Like any vector source it may be a register, an FU-to-FU FIFO
+     * token, or a DRAM stream — which is what lets fused MAC chains ride
+     * the FIFOs end to end instead of pinning an SRAM register per
+     * chain. `None` on every other opcode; the destination is always
+     * write-only.
+     */
+    Operand src2;
     uint32_t modulus = 0; ///< limb prime index (selects FU constants)
     u64 imm = 0;          ///< automorphism Galois element, etc.
     u64 hbmAddr = 0;      ///< HBM address for LOAD/STORE/stream fill
@@ -82,10 +91,11 @@ struct MachInst
     /** Defines its destination register/FIFO token (stores do not). */
     bool writesDest() const { return op != Opcode::STORE_RES; }
 
-    /** Number of source operands streaming from DRAM (0, 1 or 2). */
+    /** Number of source operands streaming from DRAM (0 to 3). */
     int dramStreamSources() const
     {
-        return (dramStream(src0) ? 1 : 0) + (dramStream(src1) ? 1 : 0);
+        return (dramStream(src0) ? 1 : 0) + (dramStream(src1) ? 1 : 0) +
+               (dramStream(src2) ? 1 : 0);
     }
 };
 
@@ -98,6 +108,15 @@ struct MachineProgram
     size_t spillLoads = 0;     ///< regalloc-inserted reloads
     size_t spillStores = 0;    ///< regalloc-inserted spills
     size_t streamedOps = 0;    ///< operands converted to streaming
+
+    /**
+     * Registers at the top of the file reserved as the spill-reload
+     * scratch pool (0 = unknown, e.g. a hand-built test program). Not
+     * part of `fingerprint()`: it describes the allocator's partition
+     * of the register file, not the instruction stream, and the
+     * checked-in bench baselines pin the fingerprint.
+     */
+    size_t scratchRegs = 0;
 };
 
 /**

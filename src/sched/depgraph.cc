@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "verify/verify.h"
 
 namespace effact {
 
@@ -72,11 +73,13 @@ DepGraph::fromMachine(const MachineProgram &prog)
     // the allocator and FIFO tokens are IR value ids, so direct-indexed
     // tables beat hash maps on the hot build path.
     u64 max_reg = 0, max_tok = 0;
-    for (const MachInst &mi : prog.insts) {
+    for (size_t i = 0; i < n; ++i) {
+        const MachInst &mi = prog.insts[i];
         if (mi.dest.kind == OperandKind::Reg) {
-            EFFACT_ASSERT(mi.dest.reg >= 0,
-                          "machine instruction writes register %d",
-                          mi.dest.reg);
+            if (mi.dest.reg < 0)
+                panicMalformedMachine(prog, static_cast<int>(i),
+                                      "destination register id is "
+                                      "negative");
             max_reg = std::max<u64>(max_reg, static_cast<u64>(mi.dest.reg));
         }
         if (mi.dest.kind == OperandKind::Stream && !mi.dest.dram)
@@ -98,7 +101,7 @@ DepGraph::fromMachine(const MachineProgram &prog)
         };
         // A source with no resolvable producer (a live-in register, an
         // HBM address, an immediate) simply has no edge.
-        for (const Operand *src : {&mi.src0, &mi.src1}) {
+        for (const Operand *src : {&mi.src0, &mi.src1, &mi.src2}) {
             int def = resolveSrc(*src);
             if (def >= 0)
                 g.addEdge(def, static_cast<int>(i), DepKind::True);

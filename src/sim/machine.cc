@@ -10,6 +10,7 @@
 #include "common/logging.h"
 #include "sched/depgraph.h"
 #include "sim/resources.h"
+#include "verify/verify.h"
 
 namespace effact {
 
@@ -267,7 +268,9 @@ Simulator::run(const MachineProgram &prog) const
     for (size_t issued = 0; issued < n; ++issued) {
         double best_start = 0.0;
         const int best = groups.best(best_start);
-        EFFACT_ASSERT(best >= 0, "deadlock: no issuable instruction");
+        if (best < 0)
+            panicMalformedMachine(prog, -1,
+                                  "deadlock: no issuable instruction");
         groups.take(group[best], best);
 
         const IssuePlan plan =
@@ -333,7 +336,8 @@ Simulator::runReference(const MachineProgram &prog) const
 
     // Resolve each source operand to its defining instruction index so
     // that out-of-order issue still honours true dependences.
-    std::vector<int> def_src0(n, -1), def_src1(n, -1), dest_prev(n, -1);
+    std::vector<int> def_src0(n, -1), def_src1(n, -1), def_src2(n, -1),
+        dest_prev(n, -1);
     {
         std::unordered_map<int, int> last_writer;   // register -> inst
         std::unordered_map<u64, int> fifo_producer; // token -> inst
@@ -352,6 +356,7 @@ Simulator::runReference(const MachineProgram &prog) const
             };
             def_src0[i] = resolveSrc(mi.src0);
             def_src1[i] = resolveSrc(mi.src1);
+            def_src2[i] = resolveSrc(mi.src2);
             if (mi.op != Opcode::STORE_RES) {
                 if (mi.dest.kind == OperandKind::Reg) {
                     auto it = last_writer.find(mi.dest.reg);
@@ -402,7 +407,7 @@ Simulator::runReference(const MachineProgram &prog) const
 
         double ready = 0.0;
         bool stream_fill = false;
-        for (int def : {def_src0[i], def_src1[i]}) {
+        for (int def : {def_src0[i], def_src1[i], def_src2[i]}) {
             if (def >= 0) {
                 if (!issued[static_cast<size_t>(def)]) {
                     feasible = false;
@@ -420,9 +425,7 @@ Simulator::runReference(const MachineProgram &prog) const
             feasible = false;
             return plan;
         }
-        if (mi.src0.kind == OperandKind::Stream && mi.src0.dram)
-            stream_fill = true;
-        if (mi.src1.kind == OperandKind::Stream && mi.src1.dram)
+        if (mi.dramStreamSources() >= 1)
             stream_fill = true;
 
         switch (mi.op) {
@@ -501,7 +504,9 @@ Simulator::runReference(const MachineProgram &prog) const
                 best = i;
             }
         }
-        EFFACT_ASSERT(best < n, "deadlock: no issuable instruction");
+        if (best >= n)
+            panicMalformedMachine(prog, -1,
+                                  "deadlock: no issuable instruction");
 
         const MachInst &mi = prog.insts[best];
         issued[best] = 1;
@@ -521,9 +526,9 @@ Simulator::runReference(const MachineProgram &prog) const
                 best_plan.start + best_plan.occupancy;
             busy[best_plan.fu_class] += best_plan.occupancy;
         }
-        // Instructions with two DRAM-streamed operands move two residues.
-        if (mi.src0.kind == OperandKind::Stream && mi.src0.dram &&
-            mi.src1.kind == OperandKind::Stream && mi.src1.dram) {
+        // Each DRAM-streamed operand beyond the first moves another
+        // residue.
+        for (int k = 1; k < mi.dramStreamSources(); ++k) {
             hbm_free += mem_cycles;
             hbm_busy += mem_cycles;
             dram_bytes += double(prog.residueBytes);

@@ -28,7 +28,7 @@ ResourceModel::decode(const MachInst &mi) const
     InstShape s;
     const int dram_srcs = mi.dramStreamSources();
     s.stream_fill = dram_srcs >= 1;
-    s.dual_dram = dram_srcs == 2;
+    s.extra_dram = dram_srcs > 1 ? dram_srcs - 1 : 0;
     switch (mi.op) {
       case Opcode::LOAD_RES:
       case Opcode::STORE_RES:
@@ -111,8 +111,8 @@ ResourceModel::commit(const InstShape &shape, const IssuePlan &p)
         busy_[p.fu_class] += p.occupancy;
         refreshMin(p.fu_class);
     }
-    // Instructions with two DRAM-streamed operands move two residues.
-    if (shape.dual_dram) {
+    // Each DRAM-streamed operand beyond the first moves another residue.
+    for (int k = 0; k < shape.extra_dram; ++k) {
         hbm_free_ += mem_cycles_;
         hbm_busy_ += mem_cycles_;
         dram_bytes_ += double(residue_bytes_);

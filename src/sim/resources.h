@@ -33,7 +33,8 @@ struct InstShape
     double occupancy = 0.0; ///< FU occupancy in cycles
     bool mac = false;       ///< may steer to the NTT units' MAC path
     bool stream_fill = false; ///< >=1 source streams from DRAM
-    bool dual_dram = false;   ///< both sources stream from DRAM
+    int extra_dram = 0;       ///< DRAM-streamed sources beyond the first
+                              ///< (0-2: MMAC can stream all three)
 };
 
 /** A committed or prospective issue slot. */
@@ -80,7 +81,8 @@ class ResourceModel
 
     /**
      * Commits `p`: occupies the chosen unit, advances the HBM channel
-     * (dual-DRAM-operand instructions move two residues), and accrues
+     * (an instruction moves one residue per DRAM-streamed source), and
+     * accrues
      * busy/traffic counters. Returns the finish time, which includes
      * the pipeline startup latency.
      */

@@ -433,6 +433,9 @@ fixedPointOptimize(IrProgram &prog, const CompilerOptions &opts,
     AnalysisManager analyses;
     PassManager pm = PassManager::fromSpec(pipelineSpecFromOptions(opts));
     pm.setMaxIterations(opts.pipelineMaxIterations);
+    // Every randomized pipeline run is checkpointed: a pass that leaves
+    // malformed IR on any generated program panics here, naming itself.
+    pm.setVerifyLevel(1);
     pm.run(prog, analyses, stats);
     ASSERT_TRUE(pm.converged()) << "pipeline did not converge";
     prog.compact();
@@ -529,6 +532,9 @@ checkSimulatorEquivalence(uint64_t seed, size_t target_insts)
     opts.fifoDepth = 1 + rng.uniform(128);
     opts.sramBytes = hw.sramBytes;
     opts.issueWindow = hw.issueWindow;
+    // Fully verified compiles: IR checked at every pass boundary and
+    // the machine program at back-end exit, for every random shape.
+    opts.verifyLevel = 1;
 
     Compiler compiler(opts);
     MachineProgram mp = compiler.compile(prog);

@@ -48,13 +48,22 @@ TEST(ResourceModel, DecodeShapes)
         inst(Opcode::MMUL, Operand::regOp(2),
              Operand::stream(0, /*from_dram=*/true), Operand::regOp(1)));
     EXPECT_TRUE(fill.stream_fill);
-    EXPECT_FALSE(fill.dual_dram);
+    EXPECT_EQ(fill.extra_dram, 0);
 
     InstShape dual = res.decode(
         inst(Opcode::MMUL, Operand::regOp(2),
              Operand::stream(0, /*from_dram=*/true),
              Operand::stream(1, /*from_dram=*/true)));
-    EXPECT_TRUE(dual.dual_dram);
+    EXPECT_EQ(dual.extra_dram, 1);
+
+    // A MMAC can stream all three sources from DRAM.
+    MachInst tri = inst(Opcode::MMAC, Operand::regOp(2),
+                        Operand::stream(0, /*from_dram=*/true),
+                        Operand::stream(1, /*from_dram=*/true));
+    tri.src2 = Operand::stream(2, /*from_dram=*/true);
+    InstShape three = res.decode(tri);
+    EXPECT_TRUE(three.stream_fill);
+    EXPECT_EQ(three.extra_dram, 2);
 }
 
 TEST(ResourceModel, ModelConstantsMatchConfig)
