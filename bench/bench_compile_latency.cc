@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Single-big-job latency bench: one paper-scale bootstrapping job
+ * (Table III row 1, full preset, 27 MB SRAM) compiled and simulated
+ * serially and with within-job parallelism (`jobThreads` 2 and 8), the
+ * knob PR 7 added for exactly this shape — a batch too small for the
+ * sweep engine's job-level parallelism to help.
+ *
+ * Two roles:
+ *
+ * - Determinism gate (hard): cycles, machine-code fingerprint and
+ *   instruction count must be identical at every `jobThreads` setting.
+ *   A divergence aborts the bench — the bit-identical contract is what
+ *   makes the knob safe to flip in CI and production alike.
+ *
+ * - Latency trajectory (soft): per-setting wall clock plus the
+ *   middle/backend/sim stage split go to `BENCH_compile_latency.json`
+ *   for `bench/check_regression.py` to gate against
+ *   `bench/baseline_latency.json` (deterministic fields exactly,
+ *   wall-clock within EFFACT_PERF_THRESHOLD). The speedup itself is
+ *   reported, not gated: it is a property of the runner's core count.
+ *
+ * Usage: bench_compile_latency [output.json]
+ *        (default: BENCH_compile_latency.json)
+ */
+#include <chrono>
+#include <cinttypes>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/logging.h"
+
+namespace effact {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+msSince(const Clock::time_point &t0)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+        .count();
+}
+
+struct LatencyRun
+{
+    size_t jobThreads = 0;
+    double wallMs = 0; ///< best of `kReps` end-to-end runs
+    double middleMs = 0;
+    double backendMs = 0;
+    double simMs = 0;
+    double cycles = 0;
+    u64 fingerprint = 0;
+    size_t instructions = 0;
+};
+
+constexpr int kReps = 2;
+
+/** One full compile+simulate of the paper-scale job at a fixed
+ *  within-job width, best-of-`kReps` wall clock. */
+LatencyRun
+measure(size_t job_threads)
+{
+    LatencyRun run;
+    run.jobThreads = job_threads;
+    run.wallMs = 1e300;
+    for (int rep = 0; rep < kReps; ++rep) {
+        SweepOptions opts;
+        opts.threads = 1; // one job: job-level parallelism cannot help
+        opts.verifyLevel = 0;
+        opts.jobThreads = job_threads;
+        SweepEngine engine(opts);
+        engine.submit("bootstrapping/full/sram27",
+                      [] { return buildBootstrapping(paperFhe()); },
+                      HardwareConfig::asicEffact27(),
+                      Platform::fullOptions(
+                          HardwareConfig::asicEffact27().sramBytes));
+        const Clock::time_point t0 = Clock::now();
+        const SweepResult &r = engine.runAll().front();
+        const double wall = msSince(t0);
+        run.cycles = r.platform.sim.cycles;
+        run.fingerprint = r.platform.machineFingerprint;
+        run.instructions = r.platform.sim.instructions;
+        if (wall < run.wallMs) {
+            run.wallMs = wall;
+            run.middleMs = r.platform.jobStats.get("job.middle.ms");
+            run.backendMs = r.platform.jobStats.get("job.backend.ms");
+            run.simMs = r.platform.jobStats.get("job.sim.ms");
+        }
+    }
+    return run;
+}
+
+int
+emit(const char *path)
+{
+    // Same rule as the perf lane: a verified compile is a different
+    // workload than the one the baseline was recorded from.
+    EFFACT_ASSERT(defaultVerifyLevel() == 0,
+                  "latency bench refuses to run with EFFACT_VERIFY set: "
+                  "verification would pollute the recorded wall-clock");
+
+    const std::vector<size_t> widths = {1, 2, 8};
+    std::vector<LatencyRun> runs;
+    runs.reserve(widths.size());
+    for (size_t w : widths)
+        runs.push_back(measure(w));
+
+    // The determinism contract, enforced before anything is written:
+    // within-job width must not move a single output bit.
+    const LatencyRun &serial = runs.front();
+    for (const LatencyRun &run : runs) {
+        EFFACT_ASSERT(run.fingerprint == serial.fingerprint &&
+                          run.cycles == serial.cycles &&
+                          run.instructions == serial.instructions,
+                      "jobThreads=%zu diverged from serial: fp "
+                      "0x%016" PRIx64 " vs 0x%016" PRIx64
+                      ", cycles %.0f vs %.0f",
+                      run.jobThreads, run.fingerprint, serial.fingerprint,
+                      run.cycles, serial.cycles);
+    }
+
+    const LatencyRun &wide = runs.back();
+    std::FILE *f = std::fopen(path, "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot open %s for writing\n", path);
+        return 1;
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"schema\": \"effact-bench-latency-v1\",\n");
+    std::fprintf(f, "  \"compile_latency\": {\n");
+    std::fprintf(f, "    \"job\": \"bootstrapping/full/sram27\",\n");
+    std::fprintf(f, "    \"instructions\": %zu,\n", serial.instructions);
+    std::fprintf(f, "    \"cycles\": %.0f,\n", serial.cycles);
+    std::fprintf(f, "    \"fingerprint\": \"0x%016" PRIx64 "\",\n",
+                 serial.fingerprint);
+    std::fprintf(f, "    \"serial_wall_ms\": %.3f,\n", serial.wallMs);
+    std::fprintf(f, "    \"parallel_wall_ms\": %.3f,\n", wide.wallMs);
+    std::fprintf(f, "    \"speedup\": %.3f,\n",
+                 serial.wallMs / wide.wallMs);
+    std::fprintf(f, "    \"runs\": [\n");
+    for (size_t i = 0; i < runs.size(); ++i) {
+        const LatencyRun &run = runs[i];
+        std::fprintf(f,
+                     "      {\"job_threads\": %zu, \"wall_ms\": %.3f, "
+                     "\"middle_ms\": %.3f, \"backend_ms\": %.3f, "
+                     "\"sim_ms\": %.3f}%s\n",
+                     run.jobThreads, run.wallMs, run.middleMs,
+                     run.backendMs, run.simMs,
+                     i + 1 < runs.size() ? "," : "");
+    }
+    std::fprintf(f, "    ]\n");
+    std::fprintf(f, "  }\n");
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+
+    std::fprintf(stderr,
+                 "[latency] %zu insts, %.0f cycles | serial %.1f ms, "
+                 "jobThreads=8 %.1f ms (%.2fx) | outputs bit-identical "
+                 "at every width\n",
+                 serial.instructions, serial.cycles, serial.wallMs,
+                 wide.wallMs, serial.wallMs / wide.wallMs);
+    std::printf("wrote %s\n", path);
+    return 0;
+}
+
+} // namespace
+} // namespace effact
+
+int
+main(int argc, char **argv)
+{
+    return effact::emit(argc > 1 ? argv[1] : "BENCH_compile_latency.json");
+}

@@ -1,5 +1,16 @@
 #!/usr/bin/env python3
-"""Gate a BENCH_sweep.json against the checked-in bench/baseline.json.
+"""Gate a perf-lane JSON against its checked-in baseline.
+
+Understands two schemas, dispatched on the "schema" field (current and
+baseline must agree):
+
+- effact-bench-sweep-v1 (bench_perf_lane -> BENCH_sweep.json vs
+  bench/baseline.json): simulator throughput + the fig11 preset x SRAM
+  grid, including per-job cycles/fingerprint matching.
+
+- effact-bench-latency-v1 (bench_compile_latency ->
+  BENCH_compile_latency.json vs bench/baseline_latency.json): the
+  single-big-job within-job-parallelism latency measurement.
 
 Two classes of comparison:
 
@@ -43,22 +54,44 @@ def get(tree, dotted):
     return node
 
 
-# Deterministic scalars compared exactly.
-EXACT_KEYS = [
-    "sim_speed.instructions",
-    "sim_speed.cycles",
-    "fig11_grid.jobs",
-    "fig11_grid.cache.lookups",
-    "fig11_grid.cache.middle_end_runs",
-    "fig11_grid.cache.frontend_skipped",
-]
-
-# Wall-clock scalars gated by the threshold.
-WALL_KEYS = [
-    "sim_speed.sim_wall_ms",
-    "sim_speed.compile_wall_ms",
-    "fig11_grid.wall_ms",
-]
+# Per-schema key lists: deterministic scalars compared exactly,
+# wall-clock scalars gated by the threshold, and whether the schema
+# carries the fig11 per-job results array.
+SCHEMAS = {
+    "effact-bench-sweep-v1": {
+        "exact": [
+            "sim_speed.instructions",
+            "sim_speed.cycles",
+            "fig11_grid.jobs",
+            "fig11_grid.cache.lookups",
+            "fig11_grid.cache.middle_end_runs",
+            "fig11_grid.cache.frontend_skipped",
+        ],
+        "wall": [
+            "sim_speed.sim_wall_ms",
+            "sim_speed.compile_wall_ms",
+            "fig11_grid.wall_ms",
+        ],
+        "grid": True,
+    },
+    # The latency bench itself aborts if any jobThreads setting moves a
+    # bit, so the exact keys here re-check the *cross-run* invariant:
+    # this commit produces the same machine code and cycle count as the
+    # baseline commit. The speedup ratio is recorded but not gated — it
+    # measures the runner's core count, not the code.
+    "effact-bench-latency-v1": {
+        "exact": [
+            "compile_latency.instructions",
+            "compile_latency.cycles",
+            "compile_latency.fingerprint",
+        ],
+        "wall": [
+            "compile_latency.serial_wall_ms",
+            "compile_latency.parallel_wall_ms",
+        ],
+        "grid": False,
+    },
+}
 
 
 def main():
@@ -86,13 +119,20 @@ def main():
         return 2
 
     for tree, name in ((current, args.current), (baseline, args.baseline)):
-        if tree.get("schema") != "effact-bench-sweep-v1":
+        if tree.get("schema") not in SCHEMAS:
             print(f"ERROR: {name}: unknown schema {tree.get('schema')!r}")
             return 2
+    if current.get("schema") != baseline.get("schema"):
+        print(
+            f"ERROR: schema mismatch: {current.get('schema')!r} vs "
+            f"baseline {baseline.get('schema')!r}"
+        )
+        return 2
+    schema = SCHEMAS[current["schema"]]
 
     status = 0
 
-    for key in EXACT_KEYS:
+    for key in schema["exact"]:
         try:
             cur, base = get(current, key), get(baseline, key)
         except KeyError:
@@ -106,32 +146,37 @@ def main():
         else:
             print(f"ok   {key}: {cur}")
 
-    # Per-job deterministic results, matched by (name, sram_mb).
-    def job_map(tree, name):
-        jobs = {}
-        for job in get(tree, "fig11_grid.results"):
-            jobs[(job["name"], job["sram_mb"])] = job
-        return jobs
+    if schema["grid"]:
+        # Per-job deterministic results, matched by (name, sram_mb).
+        def job_map(tree, name):
+            jobs = {}
+            for job in get(tree, "fig11_grid.results"):
+                jobs[(job["name"], job["sram_mb"])] = job
+            return jobs
 
-    cur_jobs, base_jobs = job_map(current, "current"), job_map(
-        baseline, "baseline"
-    )
-    if set(cur_jobs) != set(base_jobs):
-        status |= fail(
-            f"grid shape changed: {sorted(set(cur_jobs) ^ set(base_jobs))}"
+        cur_jobs, base_jobs = job_map(current, "current"), job_map(
+            baseline, "baseline"
         )
-    for key in sorted(set(cur_jobs) & set(base_jobs)):
-        cur, base = cur_jobs[key], base_jobs[key]
-        for field in ("cycles", "fingerprint"):
-            if cur.get(field) != base.get(field):
-                status |= fail(
-                    f"{key[0]}/sram{key[1]}.{field}: {cur.get(field)} != "
-                    f"baseline {base.get(field)}"
-                )
-    if not status:
-        print(f"ok   {len(cur_jobs)} grid jobs: cycles + fingerprints match")
+        if set(cur_jobs) != set(base_jobs):
+            status |= fail(
+                f"grid shape changed: "
+                f"{sorted(set(cur_jobs) ^ set(base_jobs))}"
+            )
+        for key in sorted(set(cur_jobs) & set(base_jobs)):
+            cur, base = cur_jobs[key], base_jobs[key]
+            for field in ("cycles", "fingerprint"):
+                if cur.get(field) != base.get(field):
+                    status |= fail(
+                        f"{key[0]}/sram{key[1]}.{field}: "
+                        f"{cur.get(field)} != baseline {base.get(field)}"
+                    )
+        if not status:
+            print(
+                f"ok   {len(cur_jobs)} grid jobs: cycles + fingerprints "
+                "match"
+            )
 
-    for key in WALL_KEYS:
+    for key in schema["wall"]:
         try:
             cur, base = get(current, key), get(baseline, key)
         except KeyError:

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# Regenerate bench/baseline.json, the perf-gate reference for the CI
-# `perf` job. Run this deliberately when compiler/simulator behavior
-# changes move the deterministic fields (cycles, fingerprints), and
-# commit the result together with the change that moved them.
+# Regenerate bench/baseline.json and bench/baseline_latency.json, the
+# perf-gate references for the CI `perf` job. Run this deliberately when
+# compiler/simulator behavior changes move the deterministic fields
+# (cycles, fingerprints), and commit the results together with the
+# change that moved them.
 #
 # Wall-clock fields are machine-dependent: numbers produced here come
 # from *this* machine. If the CI runner class is slower, either leave
@@ -18,7 +19,11 @@ cmake -B "$BUILD_DIR" -S . \
   -DEFFACT_BUILD_TESTS=OFF \
   -DEFFACT_BUILD_EXAMPLES=OFF \
   -DEFFACT_FETCH_BENCHMARK=OFF
-cmake --build "$BUILD_DIR" -j --target bench_perf_lane
+cmake --build "$BUILD_DIR" -j --target bench_perf_lane bench_compile_latency
 "$BUILD_DIR"/bench/bench_perf_lane bench/baseline.json
 python3 bench/check_regression.py bench/baseline.json bench/baseline.json
-echo "wrote bench/baseline.json — review wall_ms headroom before committing"
+"$BUILD_DIR"/bench/bench_compile_latency bench/baseline_latency.json
+python3 bench/check_regression.py bench/baseline_latency.json \
+  bench/baseline_latency.json
+echo "wrote bench/baseline.json + bench/baseline_latency.json —" \
+  "review wall_ms headroom before committing"

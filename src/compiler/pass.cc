@@ -46,10 +46,18 @@ MachineProgram
 Compiler::compile(IrProgram &prog, AnalysisManager &analyses,
                   CompileCache *cache)
 {
+    compileMiddle(prog, analyses, cache);
+    return compileBack(prog, analyses);
+}
+
+void
+Compiler::compileMiddle(IrProgram &prog, AnalysisManager &analyses,
+                        CompileCache *cache)
+{
     stats_.clear();
     if (cache == nullptr) {
         runMiddleEnd(prog, analyses, stats_);
-        return runBackEnd(prog, analyses, stats_);
+        return;
     }
 
     // The cache key is computed over the *input* program; the build
@@ -76,6 +84,11 @@ Compiler::compile(IrProgram &prog, AnalysisManager &analyses,
     // compiles byte-identical except for the cache.hit marker.
     stats_.merge(snap->stats);
     stats_.set("cache.hit", hit ? 1 : 0);
+}
+
+MachineProgram
+Compiler::compileBack(const IrProgram &prog, AnalysisManager &analyses)
+{
     return runBackEnd(prog, analyses, stats_);
 }
 
@@ -132,7 +145,8 @@ Compiler::runBackEnd(const IrProgram &prog, AnalysisManager &analyses,
     auto streaming = runStreaming(prog, order, opts_.streaming,
                                   opts_.fifoDepth, stats);
     MachineProgram mp = runRegAllocAndCodegen(prog, order, streaming,
-                                              opts_, stats);
+                                              opts_, stats,
+                                              analyses.exec());
     stats.set("machine.instructions", double(mp.insts.size()));
     // Post-backend checkpoint: the machine program handed to the
     // scheduler-graph builder and the simulator is well-formed (register

@@ -8,6 +8,7 @@
 #define EFFACT_COMPILER_PASS_H
 
 #include "common/stats.h"
+#include "compiler/region.h"
 #include "ir/ir.h"
 #include "isa/isa.h"
 
@@ -65,21 +66,34 @@ struct CompilerOptions
 // Each records detailed statistics and returns its total number of
 // rewrites, so the pass-manager layer can detect change (and keep
 // cached analyses sound) without duplicating the passes' stat keys.
+//
+// Every pass takes an optional `ParallelExec`. The default (serial)
+// executor selects the legacy single-threaded scan — the oracle path.
+// A parallel executor selects a region-sharded algorithm that produces
+// the *identical* final IR and the identical stat counts at any thread
+// count (chunk boundaries depend only on the program size, and every
+// cross-chunk merge is performed in deterministic ascending-chunk
+// order), so machine code, fingerprints and `CompileCache` snapshots
+// are byte-identical to the serial pipeline.
 
 /** Copy propagation: removes VecCopy chains. */
-size_t runCopyProp(IrProgram &prog, StatSet &stats);
+size_t runCopyProp(IrProgram &prog, StatSet &stats,
+                   const ParallelExec &exec = ParallelExec());
 
 /** Constant propagation/folding on immediate operands. */
-size_t runConstProp(IrProgram &prog, StatSet &stats);
+size_t runConstProp(IrProgram &prog, StatSet &stats,
+                    const ParallelExec &exec = ParallelExec());
 
 /** Value-numbering PRE: removes redundant computations and re-loads of
  *  read-only data (models on-chip key/constant reuse). */
-size_t runPre(IrProgram &prog, StatSet &stats);
+size_t runPre(IrProgram &prog, StatSet &stats,
+              const ParallelExec &exec = ParallelExec());
 
 /** Peephole computation merge: MUL+ADD -> MAC (executed on reused NTT
  *  units, Sec. III-2) and iNTT 1/N post-scale folding into BConv
  *  constants (Eq. 5). */
-size_t runPeephole(IrProgram &prog, StatSet &stats);
+size_t runPeephole(IrProgram &prog, StatSet &stats,
+                   const ParallelExec &exec = ParallelExec());
 
 /**
  * Alias analysis (Sec. IV-B2): orders memory operations that may touch
@@ -120,7 +134,8 @@ MachineProgram runRegAllocAndCodegen(const IrProgram &prog,
                                      const std::vector<int> &order,
                                      const StreamingInfo &streaming,
                                      const CompilerOptions &opts,
-                                     StatSet &stats);
+                                     StatSet &stats,
+                                     const ParallelExec &exec = ParallelExec());
 
 class CompileCache; // compiler/compile_cache.h
 
@@ -160,6 +175,23 @@ class Compiler
      */
     MachineProgram compile(IrProgram &prog, AnalysisManager &analyses,
                            CompileCache *cache);
+
+    /**
+     * Staged variant of `compile`, stage 1: the cache-aware middle end
+     * alone (pipeline to fixed point, or snapshot adoption on a cache
+     * hit). Resets the compiler's stats. Pairs with `compileBack`; the
+     * pair is exactly `compile(prog, analyses, cache)` split at the
+     * hardware boundary, so a stage-pipelined driver can run another
+     * job's back end between the two.
+     */
+    void compileMiddle(IrProgram &prog, AnalysisManager &analyses,
+                       CompileCache *cache);
+
+    /** Staged variant of `compile`, stage 2: the back end over the
+     *  program `compileMiddle` optimized. Appends to the stats
+     *  `compileMiddle` started. */
+    MachineProgram compileBack(const IrProgram &prog,
+                               AnalysisManager &analyses);
 
     /**
      * Middle end: runs the declarative optimization pipeline to its

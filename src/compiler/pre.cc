@@ -52,91 +52,55 @@ commutative(IrOp op)
     return op == IrOp::Add || op == IrOp::Mul;
 }
 
-} // namespace
-
-size_t
-runPre(IrProgram &prog, StatSet &stats)
+/** Builds the VN key from an instruction's current operand values;
+ *  returns false for impure instructions (stores, mutable loads). */
+bool
+makeKey(const IrProgram &prog, const IrInst &inst, VnKey &key)
 {
-    // Value numbering over the SSA program (the dominator structure of a
-    // straight-line program is trivial, so hash-based VN subsumes the
-    // PRE of [15,32,36] here). Loads from read-only objects (keys,
-    // plaintext constants) are pure and participate; mutable loads and
-    // stores do not.
-    std::unordered_map<VnKey, int, VnKeyHash> table;
-    table.reserve(prog.insts.size());
-    std::vector<int> fwd(prog.insts.size());
-    for (size_t i = 0; i < fwd.size(); ++i)
-        fwd[i] = static_cast<int>(i);
-    auto resolve = [&](int v) {
-        while (v >= 0 && fwd[v] != v)
-            v = fwd[v];
-        return v;
-    };
-
-    size_t cse_removed = 0;
-    size_t reload_removed = 0;
-    for (size_t i = 0; i < prog.insts.size(); ++i) {
-        IrInst &inst = prog.insts[i];
-        if (inst.dead)
-            continue;
-        for (int *slot : inst.operandSlots())
-            if (*slot >= 0)
-                *slot = resolve(*slot);
-
-        bool pure = false;
-        VnKey key{};
-        key.op = static_cast<uint8_t>(inst.op);
-        key.c = -1;
-        key.modulus = inst.modulus;
-        key.imm = inst.useImm ? inst.imm : 0;
-        key.use_imm = inst.useImm;
-        key.mem_obj = -1;
-        key.mem_idx = 0;
-        switch (inst.op) {
-          case IrOp::Mul:
-          case IrOp::Add:
-          case IrOp::Sub:
-          case IrOp::Mac:
-          case IrOp::Ntt:
-          case IrOp::Intt:
-          case IrOp::Auto:
-            pure = true;
-            key.a = inst.a;
-            key.b = inst.b;
-            key.c = inst.c;
-            if (commutative(inst.op) && !inst.useImm && key.b < key.a)
-                std::swap(key.a, key.b);
-            if (inst.op == IrOp::Auto)
-                key.imm = inst.imm;
-            break;
-          case IrOp::Load:
-            if (inst.mem.object >= 0 &&
-                prog.objects[inst.mem.object].readOnly) {
-                pure = true;
-                key.a = -1;
-                key.b = -1;
-                key.mem_obj = inst.mem.object;
-                key.mem_idx = inst.mem.index;
-            }
-            break;
-          default:
-            break;
+    key = VnKey{};
+    key.op = static_cast<uint8_t>(inst.op);
+    key.c = -1;
+    key.modulus = inst.modulus;
+    key.imm = inst.useImm ? inst.imm : 0;
+    key.use_imm = inst.useImm;
+    key.mem_obj = -1;
+    key.mem_idx = 0;
+    switch (inst.op) {
+      case IrOp::Mul:
+      case IrOp::Add:
+      case IrOp::Sub:
+      case IrOp::Mac:
+      case IrOp::Ntt:
+      case IrOp::Intt:
+      case IrOp::Auto:
+        key.a = inst.a;
+        key.b = inst.b;
+        key.c = inst.c;
+        if (commutative(inst.op) && !inst.useImm && key.b < key.a)
+            std::swap(key.a, key.b);
+        if (inst.op == IrOp::Auto)
+            key.imm = inst.imm;
+        return true;
+      case IrOp::Load:
+        if (inst.mem.object >= 0 &&
+            prog.objects[inst.mem.object].readOnly) {
+            key.a = -1;
+            key.b = -1;
+            key.mem_obj = inst.mem.object;
+            key.mem_idx = inst.mem.index;
+            return true;
         }
-        if (!pure)
-            continue;
-
-        auto [it, inserted] = table.emplace(key, static_cast<int>(i));
-        if (!inserted) {
-            fwd[i] = it->second;
-            inst.dead = true;
-            if (inst.op == IrOp::Load)
-                ++reload_removed;
-            else
-                ++cse_removed;
-        }
+        return false;
+      default:
+        return false;
     }
+}
 
-    // Dead-code elimination: anything unused that is not a Store.
+/** Shared dead-code elimination tail (identical input state in both
+ *  paths, so one implementation serves both). */
+size_t
+runDce(IrProgram &prog)
+{
     std::vector<uint32_t> uses(prog.insts.size(), 0);
     for (const auto &inst : prog.insts) {
         if (inst.dead)
@@ -158,11 +122,289 @@ runPre(IrProgram &prog, StatSet &stats)
             if (operand >= 0)
                 --uses[operand];
     }
+    return dce;
+}
 
-    stats.add("pre.cseRemoved", double(cse_removed));
-    stats.add("pre.readOnlyReloadsRemoved", double(reload_removed));
+struct CseCounts
+{
+    size_t cse = 0;
+    size_t reload = 0;
+};
+
+/** Legacy single-threaded scan — the serial oracle path. */
+CseCounts
+runCseSerial(IrProgram &prog)
+{
+    // Value numbering over the SSA program (the dominator structure of a
+    // straight-line program is trivial, so hash-based VN subsumes the
+    // PRE of [15,32,36] here). Loads from read-only objects (keys,
+    // plaintext constants) are pure and participate; mutable loads and
+    // stores do not.
+    std::unordered_map<VnKey, int, VnKeyHash> table;
+    table.reserve(prog.insts.size());
+    std::vector<int> fwd(prog.insts.size());
+    for (size_t i = 0; i < fwd.size(); ++i)
+        fwd[i] = static_cast<int>(i);
+    auto resolve = [&](int v) {
+        while (v >= 0 && fwd[v] != v)
+            v = fwd[v];
+        return v;
+    };
+
+    CseCounts counts;
+    for (size_t i = 0; i < prog.insts.size(); ++i) {
+        IrInst &inst = prog.insts[i];
+        if (inst.dead)
+            continue;
+        for (int *slot : inst.operandSlots())
+            if (*slot >= 0)
+                *slot = resolve(*slot);
+        VnKey key;
+        if (!makeKey(prog, inst, key))
+            continue;
+        auto [it, inserted] = table.emplace(key, static_cast<int>(i));
+        if (!inserted) {
+            fwd[i] = it->second;
+            inst.dead = true;
+            if (inst.op == IrOp::Load)
+                ++counts.reload;
+            else
+                ++counts.cse;
+        }
+    }
+    return counts;
+}
+
+/**
+ * Region-sharded equivalent of the serial CSE scan. The serial pass's
+ * fixpoint is exactly the *congruence closure* of the program with
+ * min-index winners: the ascending scan sees every operand fully
+ * resolved by the time it visits an instruction, so two instructions
+ * end up forwarded to the same value iff their structures are equal
+ * after recursively resolving operands, and each class keeps its
+ * smallest index. That characterization is order-free, so the parallel
+ * algorithm computes the same closure by rounds:
+ *
+ *  - Round 1 handles the bulk: keys over the raw operands are computed
+ *    per shard, deduplicated by a hash-partitioned map-reduce (S fixed
+ *    key shards, each merging its chunk streams in ascending order, so
+ *    every shard map is thread-count independent — and min-index
+ *    winners make it order-independent anyway), then kills are applied
+ *    per shard.
+ *  - Later rounds converge the cascades: any live instruction with an
+ *    operand forwarded this pass re-resolves and re-keys against the
+ *    persistent winner table. These worklists are tiny (only consumers
+ *    of killed values), so they run sequentially in ascending index
+ *    order — which is precisely the serial scan's tie-break, keeping
+ *    winner selection identical. A re-keyed instruction that collides
+ *    with a *larger* live winner replaces it (the old winner becomes
+ *    the dup), which is exactly where the serial scan's min-index
+ *    winner would have been the newcomer.
+ *
+ * The fixpoint kills the same instruction set with the same forwarding
+ * roots as the serial scan, and a final sharded sweep resolves every
+ * entry-live instruction's operands (dead ones too — the serial scan
+ * resolves an instruction's operands before killing it).
+ */
+CseCounts
+runCseParallel(IrProgram &prog, const ParallelExec &exec)
+{
+    const size_t n = prog.insts.size();
+    constexpr size_t kKeyShards = 64;
+    const std::vector<ChunkRange> chunks = splitChunks(n, kDefaultChunkGrain);
+    const size_t chunk_count = chunks.size();
+
+    std::vector<int> fwd(n);
+    for (size_t i = 0; i < n; ++i)
+        fwd[i] = static_cast<int>(i);
+    auto resolve = [&](int v) {
+        while (v >= 0 && fwd[v] != v)
+            v = fwd[v];
+        return v;
+    };
+
+    std::vector<VnKey> keys(n);
+    std::vector<uint8_t> pure(n, 0);
+    std::vector<uint8_t> entry_dead(n, 0);
+
+    // Round 1, phase A: keys on raw operands + purity + entry liveness.
+    exec.forChunks(n, kDefaultChunkGrain,
+                   [&](size_t, size_t begin, size_t end) {
+                       for (size_t i = begin; i < end; ++i) {
+                           const IrInst &inst = prog.insts[i];
+                           entry_dead[i] = inst.dead ? 1 : 0;
+                           if (!inst.dead)
+                               pure[i] =
+                                   makeKey(prog, inst, keys[i]) ? 1 : 0;
+                       }
+                   });
+
+    // Phase B: bucket pure instructions by key-hash shard. Shard choice
+    // depends only on the key, never on the worker count.
+    std::vector<std::vector<std::vector<int>>> buckets(
+        chunk_count, std::vector<std::vector<int>>(kKeyShards));
+    exec.forChunks(n, kDefaultChunkGrain,
+                   [&](size_t c, size_t begin, size_t end) {
+                       for (size_t i = begin; i < end; ++i)
+                           if (pure[i])
+                               buckets[c][VnKeyHash()(keys[i]) % kKeyShards]
+                                   .push_back(static_cast<int>(i));
+                   });
+
+    // Phase C: per-shard winner maps — merge chunk streams in ascending
+    // order; first insert wins, which is the min index.
+    std::vector<std::unordered_map<VnKey, int, VnKeyHash>> table(kKeyShards);
+    exec.forChunks(kKeyShards, 1, [&](size_t, size_t begin, size_t end) {
+        for (size_t s = begin; s < end; ++s) {
+            size_t total = 0;
+            for (size_t c = 0; c < chunk_count; ++c)
+                total += buckets[c][s].size();
+            table[s].reserve(total);
+            for (size_t c = 0; c < chunk_count; ++c)
+                for (int i : buckets[c][s])
+                    table[s].emplace(keys[i], i);
+        }
+    });
+
+    // Phase D: kills. Winners are min-index, so they always survive.
+    std::vector<CseCounts> chunk_counts(chunk_count);
+    exec.forChunks(
+        n, kDefaultChunkGrain, [&](size_t c, size_t begin, size_t end) {
+            CseCounts &counts = chunk_counts[c];
+            for (size_t i = begin; i < end; ++i) {
+                if (!pure[i])
+                    continue;
+                const int w =
+                    table[VnKeyHash()(keys[i]) % kKeyShards].at(keys[i]);
+                if (w < static_cast<int>(i)) {
+                    IrInst &inst = prog.insts[i];
+                    fwd[i] = w;
+                    inst.dead = true;
+                    if (inst.op == IrOp::Load)
+                        ++counts.reload;
+                    else
+                        ++counts.cse;
+                }
+            }
+        });
+    CseCounts counts;
+    for (const CseCounts &cc : chunk_counts) {
+        counts.cse += cc.cse;
+        counts.reload += cc.reload;
+    }
+
+    // Rounds >= 2: cascade convergence. A slot pointing at a value this
+    // pass forwarded (fwd[s] != s) means the owner must re-resolve and
+    // re-key; entry-dead operands never trip the test, matching the
+    // serial scan which leaves them untouched.
+    std::vector<std::vector<int>> chunk_worklists(chunk_count);
+    for (;;) {
+        exec.forChunks(n, kDefaultChunkGrain,
+                       [&](size_t c, size_t begin, size_t end) {
+                           std::vector<int> &wl = chunk_worklists[c];
+                           wl.clear();
+                           for (size_t i = begin; i < end; ++i) {
+                               const IrInst &inst = prog.insts[i];
+                               if (inst.dead)
+                                   continue;
+                               for (int s : inst.operands())
+                                   if (s >= 0 && fwd[s] != s) {
+                                       wl.push_back(static_cast<int>(i));
+                                       break;
+                                   }
+                           }
+                       });
+        size_t pending = 0;
+        for (const std::vector<int> &wl : chunk_worklists)
+            pending += wl.size();
+        if (pending == 0)
+            break;
+        // Sequential, ascending: identical tie-breaks to the serial
+        // scan. The worklist is only consumers of freshly killed
+        // values, a vanishing fraction of the program.
+        for (const std::vector<int> &wl : chunk_worklists) {
+            for (int i : wl) {
+                IrInst &inst = prog.insts[i];
+                if (inst.dead)
+                    continue; // killed earlier this round
+                for (int *slot : inst.operandSlots())
+                    if (*slot >= 0)
+                        *slot = resolve(*slot);
+                if (!pure[i])
+                    continue;
+                VnKey key;
+                makeKey(prog, inst, key);
+                if (key == keys[i])
+                    continue;
+                // Drop the stale entry if this instruction was its
+                // key's winner.
+                auto &old_shard =
+                    table[VnKeyHash()(keys[i]) % kKeyShards];
+                auto old_it = old_shard.find(keys[i]);
+                if (old_it != old_shard.end() && old_it->second == i)
+                    old_shard.erase(old_it);
+                keys[i] = key;
+                auto &shard = table[VnKeyHash()(key) % kKeyShards];
+                auto [it, inserted] = shard.emplace(key, i);
+                if (inserted)
+                    continue;
+                const int w = it->second;
+                if (w < i) {
+                    fwd[i] = w;
+                    inst.dead = true;
+                    if (inst.op == IrOp::Load)
+                        ++counts.reload;
+                    else
+                        ++counts.cse;
+                } else {
+                    // This instruction is the smaller index: it becomes
+                    // the winner and the old winner becomes the dup —
+                    // the serial scan would have chosen the same class
+                    // representative.
+                    IrInst &loser = prog.insts[w];
+                    fwd[w] = i;
+                    loser.dead = true;
+                    if (loser.op == IrOp::Load)
+                        ++counts.reload;
+                    else
+                        ++counts.cse;
+                    it->second = i;
+                }
+            }
+        }
+    }
+
+    // Final sweep: every entry-live instruction's operands resolve to
+    // their closure roots (the serial scan resolved an instruction's
+    // slots before deciding its fate, dups included).
+    exec.forChunks(n, kDefaultChunkGrain,
+                   [&](size_t, size_t begin, size_t end) {
+                       for (size_t i = begin; i < end; ++i) {
+                           if (entry_dead[i])
+                               continue;
+                           IrInst &inst = prog.insts[i];
+                           for (int *slot : inst.operandSlots())
+                               if (*slot >= 0)
+                                   *slot = resolve(*slot);
+                       }
+                   });
+    return counts;
+}
+
+} // namespace
+
+size_t
+runPre(IrProgram &prog, StatSet &stats, const ParallelExec &exec)
+{
+    const CseCounts counts = exec.parallel() ? runCseParallel(prog, exec)
+                                             : runCseSerial(prog);
+    // Dead-code elimination: anything unused that is not a Store.
+    const size_t dce = runDce(prog);
+
+    stats.add("pre.cseRemoved", double(counts.cse));
+    stats.add("pre.readOnlyReloadsRemoved", double(counts.reload));
     stats.add("pre.deadCodeRemoved", double(dce));
-    return cse_removed + reload_removed + dce;
+    return counts.cse + counts.reload + dce;
 }
 
 } // namespace effact

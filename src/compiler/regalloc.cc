@@ -27,12 +27,234 @@ toOpcode(IrOp op)
     panic("bad IrOp");
 }
 
+/** Read-only state shared by the emission core and its counting twin. */
+struct EmitCtx
+{
+    const IrProgram &prog;
+    const StreamingInfo &streaming;
+    const std::vector<uint8_t> &value_streams_to_store;
+    const std::vector<int> &assigned;
+    const std::vector<uint8_t> &spilled;
+    const std::vector<uint8_t> &remat;
+    const std::vector<u64> &spill_addr;
+    const std::vector<u64> &obj_base;
+    size_t residue_bytes;
+    size_t alloc_regs;
+    size_t num_scratch;
+};
+
+/**
+ * Emits the machine code for one scheduled IR instruction into `sink`
+ * (spill reloads first, then the instruction, then its spill store —
+ * the exact order the classic single append loop produced).
+ * `scratch_calls` is the global running count of scratch-register
+ * grabs; the register is `alloc_regs + scratch_calls % num_scratch`,
+ * which makes the round-robin resumable at any point — the key to
+ * sharded emission: a shard seeds it with the exclusive prefix sum of
+ * earlier shards' counts and emits bytes identical to the serial loop.
+ */
+template <class Sink>
+void
+emitOne(const EmitCtx &cx, int idx, Sink &sink, u64 &scratch_calls)
+{
+    const size_t i = static_cast<size_t>(idx);
+    const IrInst &inst = cx.prog.insts[i];
+
+    auto scratchReg = [&]() {
+        const int r = static_cast<int>(
+            cx.alloc_regs + scratch_calls % cx.num_scratch);
+        ++scratch_calls;
+        return r;
+    };
+
+    auto operandFor = [&](int value) {
+        const IrInst &def = cx.prog.insts[value];
+        if (def.op == IrOp::Load && cx.streaming.streamedLoad[value]) {
+            // Streaming operand fed straight from DRAM (Sec. IV-C).
+            Operand o = Operand::stream(0, /*from_dram=*/true);
+            o.value = cx.obj_base[def.mem.object] +
+                      static_cast<u64>(def.mem.index) * cx.residue_bytes;
+            return o;
+        }
+        if (cx.streaming.fifoForward[value])
+            return Operand::stream(static_cast<u64>(value));
+        if (cx.assigned[value] >= 0)
+            return Operand::regOp(cx.assigned[value]);
+        if (cx.spilled[value]) {
+            // Reload from the spill slot into a scratch register.
+            int r = scratchReg();
+            MachInst load;
+            load.op = Opcode::LOAD_RES;
+            load.dest = Operand::regOp(r);
+            load.hbmAddr = cx.spill_addr[value];
+            load.irId = value;
+            sink.push(load);
+            ++sink.spillLoads;
+            return Operand::regOp(r);
+        }
+        // Value streams to a store or is scratch-resident.
+        return Operand::regOp(scratchReg());
+    };
+
+    if (inst.op == IrOp::Load) {
+        if (cx.streaming.streamedLoad[i])
+            return; // merged into its consumer
+        if (cx.remat[i])
+            return; // reloaded at each use instead
+        MachInst mi;
+        mi.op = Opcode::LOAD_RES;
+        // A load whose value is never used (possible when DCE is
+        // off) has no allocated register; land it in scratch like
+        // any other unconsumed result — emitting register id -1
+        // would corrupt dependence tracking downstream.
+        mi.dest = cx.assigned[i] >= 0 ? Operand::regOp(cx.assigned[i])
+                                      : Operand::regOp(scratchReg());
+        mi.hbmAddr = cx.obj_base[inst.mem.object] +
+                     static_cast<u64>(inst.mem.index) * cx.residue_bytes;
+        mi.modulus = inst.modulus;
+        mi.irId = idx;
+        sink.push(mi);
+        return;
+    }
+
+    if (inst.op == IrOp::Store) {
+        MachInst mi;
+        mi.op = Opcode::STORE_RES;
+        mi.src0 = cx.streaming.streamedStore[i]
+                      ? Operand::stream(static_cast<u64>(inst.a))
+                      : operandFor(inst.a);
+        mi.hbmAddr = cx.obj_base[inst.mem.object] +
+                     static_cast<u64>(inst.mem.index) * cx.residue_bytes;
+        mi.modulus = inst.modulus;
+        mi.irId = idx;
+        sink.push(mi);
+        return;
+    }
+
+    MachInst mi;
+    mi.op = toOpcode(inst.op);
+    mi.modulus = inst.modulus;
+    mi.imm = inst.imm;
+    mi.irId = idx;
+    if (inst.a >= 0)
+        mi.src0 = operandFor(inst.a);
+    if (inst.useImm)
+        mi.src1 = Operand::imm(inst.imm);
+    else if (inst.b >= 0)
+        mi.src1 = operandFor(inst.b);
+
+    if (inst.op == IrOp::Mac && inst.c >= 0)
+        mi.src2 = operandFor(inst.c);
+
+    if (cx.value_streams_to_store[i]) {
+        mi.dest = Operand::stream(static_cast<u64>(i));
+    } else if (cx.streaming.fifoForward[i]) {
+        mi.dest = Operand::stream(static_cast<u64>(i));
+    } else if (cx.assigned[i] >= 0) {
+        mi.dest = Operand::regOp(cx.assigned[i]);
+    } else {
+        mi.dest = Operand::regOp(scratchReg());
+    }
+    sink.push(mi);
+
+    if (cx.spilled[i] && !cx.remat[i]) {
+        MachInst spill;
+        spill.op = Opcode::STORE_RES;
+        spill.src0 = mi.dest;
+        spill.hbmAddr = cx.spill_addr[i];
+        spill.irId = idx;
+        sink.push(spill);
+        ++sink.spillStores;
+    }
+}
+
+/** Emission-count twin of `emitOne`: how many machine instructions and
+ *  scratch-register grabs one scheduled instruction produces. Pure per
+ *  instruction — this is what lets shards compute exact output offsets
+ *  and round-robin seeds without emitting anything. */
+struct EmitCount
+{
+    uint32_t insts = 0;
+    uint32_t scratch = 0;
+};
+
+EmitCount
+countOne(const EmitCtx &cx, int idx)
+{
+    const size_t i = static_cast<size_t>(idx);
+    const IrInst &inst = cx.prog.insts[i];
+    EmitCount count;
+
+    auto countOperand = [&](int value) {
+        const IrInst &def = cx.prog.insts[value];
+        if (def.op == IrOp::Load && cx.streaming.streamedLoad[value])
+            return;
+        if (cx.streaming.fifoForward[value])
+            return;
+        if (cx.assigned[value] >= 0)
+            return;
+        if (cx.spilled[value]) {
+            ++count.insts; // reload load
+            ++count.scratch;
+            return;
+        }
+        ++count.scratch; // scratch-resident fallback
+    };
+
+    if (inst.op == IrOp::Load) {
+        if (cx.streaming.streamedLoad[i] || cx.remat[i])
+            return count;
+        ++count.insts;
+        if (cx.assigned[i] < 0)
+            ++count.scratch;
+        return count;
+    }
+    if (inst.op == IrOp::Store) {
+        if (!cx.streaming.streamedStore[i])
+            countOperand(inst.a);
+        ++count.insts;
+        return count;
+    }
+    if (inst.a >= 0)
+        countOperand(inst.a);
+    if (!inst.useImm && inst.b >= 0)
+        countOperand(inst.b);
+    if (inst.op == IrOp::Mac && inst.c >= 0)
+        countOperand(inst.c);
+    if (!cx.value_streams_to_store[i] && !cx.streaming.fifoForward[i] &&
+        cx.assigned[i] < 0)
+        ++count.scratch;
+    ++count.insts;
+    if (cx.spilled[i] && !cx.remat[i])
+        ++count.insts; // spill store
+    return count;
+}
+
+/** Serial sink: appends to the program like the classic loop. */
+struct AppendSink
+{
+    std::vector<MachInst> &out;
+    size_t spillLoads = 0;
+    size_t spillStores = 0;
+    void push(const MachInst &mi) { out.push_back(mi); }
+};
+
+/** Sharded sink: writes into a precomputed slice of the output. */
+struct SliceSink
+{
+    MachInst *cursor;
+    size_t spillLoads = 0;
+    size_t spillStores = 0;
+    void push(const MachInst &mi) { *cursor++ = mi; }
+};
+
 } // namespace
 
 MachineProgram
 runRegAllocAndCodegen(const IrProgram &prog, const std::vector<int> &order,
                       const StreamingInfo &streaming,
-                      const CompilerOptions &opts, StatSet &stats)
+                      const CompilerOptions &opts, StatSet &stats,
+                      const ParallelExec &exec)
 {
     const size_t n = prog.insts.size();
     const size_t residue_bytes = prog.degree * 8;
@@ -232,116 +454,73 @@ runRegAllocAndCodegen(const IrProgram &prog, const std::vector<int> &order,
     mp.numRegs = num_regs;
     mp.scratchRegs = num_scratch;
 
-    // Values live in scratch after a reload (round robin).
-    int next_scratch = 0;
-    auto scratchReg = [&]() {
-        int r = static_cast<int>(alloc_regs) + next_scratch;
-        next_scratch = (next_scratch + 1) % static_cast<int>(num_scratch);
-        return r;
-    };
+    const EmitCtx cx{prog,       streaming, value_streams_to_store,
+                     assigned,   spilled,   remat,
+                     spill_addr, obj_base,  residue_bytes,
+                     alloc_regs, num_scratch};
 
-    auto operandFor = [&](int value, std::vector<MachInst> &out) {
-        const IrInst &def = prog.insts[value];
-        if (def.op == IrOp::Load && streaming.streamedLoad[value]) {
-            // Streaming operand fed straight from DRAM (Sec. IV-C).
-            Operand o = Operand::stream(0, /*from_dram=*/true);
-            o.value = obj_base[def.mem.object] +
-                      static_cast<u64>(def.mem.index) * residue_bytes;
-            return o;
+    if (!exec.parallel()) {
+        // Serial path: one append loop in schedule order, exactly the
+        // classic emission. The exact-count pre-pass is skipped; a
+        // heuristic reserve avoids the worst reallocation churn.
+        mp.insts.reserve(order.size() + order.size() / 4);
+        AppendSink sink{mp.insts};
+        u64 scratch_calls = 0;
+        for (int idx : order)
+            emitOne(cx, idx, sink, scratch_calls);
+        mp.spillLoads += sink.spillLoads;
+        mp.spillStores += sink.spillStores;
+    } else {
+        // Sharded emission: per-instruction output sizes and scratch
+        // grabs are position-independent, so shards count, a prefix sum
+        // fixes each shard's output offset and round-robin seed, and
+        // every shard emits its slice — byte-identical to the serial
+        // loop at any thread count.
+        const std::vector<ChunkRange> chunks =
+            splitChunks(order.size(), kDefaultChunkGrain);
+        const size_t chunk_count = chunks.size();
+        std::vector<u64> chunk_insts(chunk_count, 0);
+        std::vector<u64> chunk_scratch(chunk_count, 0);
+        exec.forChunks(order.size(), kDefaultChunkGrain,
+                       [&](size_t c, size_t begin, size_t end) {
+                           u64 insts = 0, scratch = 0;
+                           for (size_t k = begin; k < end; ++k) {
+                               const EmitCount ec = countOne(cx, order[k]);
+                               insts += ec.insts;
+                               scratch += ec.scratch;
+                           }
+                           chunk_insts[c] = insts;
+                           chunk_scratch[c] = scratch;
+                       });
+        std::vector<u64> base_insts(chunk_count + 1, 0);
+        std::vector<u64> base_scratch(chunk_count + 1, 0);
+        for (size_t c = 0; c < chunk_count; ++c) {
+            base_insts[c + 1] = base_insts[c] + chunk_insts[c];
+            base_scratch[c + 1] = base_scratch[c] + chunk_scratch[c];
         }
-        if (streaming.fifoForward[value])
-            return Operand::stream(static_cast<u64>(value));
-        if (assigned[value] >= 0)
-            return Operand::regOp(assigned[value]);
-        if (spilled[value]) {
-            // Reload from the spill slot into a scratch register.
-            int r = scratchReg();
-            MachInst load;
-            load.op = Opcode::LOAD_RES;
-            load.dest = Operand::regOp(r);
-            load.hbmAddr = spill_addr[value];
-            load.irId = value;
-            out.push_back(load);
-            ++mp.spillLoads;
-            return Operand::regOp(r);
-        }
-        // Value streams to a store or is scratch-resident.
-        return Operand::regOp(scratchReg());
-    };
-
-    for (int idx : order) {
-        const size_t i = static_cast<size_t>(idx);
-        const IrInst &inst = prog.insts[i];
-
-        if (inst.op == IrOp::Load) {
-            if (streaming.streamedLoad[i])
-                continue; // merged into its consumer
-            if (remat[i])
-                continue; // reloaded at each use instead
-            MachInst mi;
-            mi.op = Opcode::LOAD_RES;
-            // A load whose value is never used (possible when DCE is
-            // off) has no allocated register; land it in scratch like
-            // any other unconsumed result — emitting register id -1
-            // would corrupt dependence tracking downstream.
-            mi.dest = assigned[i] >= 0 ? Operand::regOp(assigned[i])
-                                       : Operand::regOp(scratchReg());
-            mi.hbmAddr = obj_base[inst.mem.object] +
-                         static_cast<u64>(inst.mem.index) * residue_bytes;
-            mi.modulus = inst.modulus;
-            mi.irId = idx;
-            mp.insts.push_back(mi);
-            continue;
-        }
-
-        if (inst.op == IrOp::Store) {
-            MachInst mi;
-            mi.op = Opcode::STORE_RES;
-            mi.src0 = streaming.streamedStore[i]
-                          ? Operand::stream(static_cast<u64>(inst.a))
-                          : operandFor(inst.a, mp.insts);
-            mi.hbmAddr = obj_base[inst.mem.object] +
-                         static_cast<u64>(inst.mem.index) * residue_bytes;
-            mi.modulus = inst.modulus;
-            mi.irId = idx;
-            mp.insts.push_back(mi);
-            continue;
-        }
-
-        MachInst mi;
-        mi.op = toOpcode(inst.op);
-        mi.modulus = inst.modulus;
-        mi.imm = inst.imm;
-        mi.irId = idx;
-        if (inst.a >= 0)
-            mi.src0 = operandFor(inst.a, mp.insts);
-        if (inst.useImm)
-            mi.src1 = Operand::imm(inst.imm);
-        else if (inst.b >= 0)
-            mi.src1 = operandFor(inst.b, mp.insts);
-
-        if (inst.op == IrOp::Mac && inst.c >= 0)
-            mi.src2 = operandFor(inst.c, mp.insts);
-
-        if (value_streams_to_store[i]) {
-            mi.dest = Operand::stream(static_cast<u64>(i));
-        } else if (streaming.fifoForward[i]) {
-            mi.dest = Operand::stream(static_cast<u64>(i));
-        } else if (assigned[i] >= 0) {
-            mi.dest = Operand::regOp(assigned[i]);
-        } else {
-            mi.dest = Operand::regOp(scratchReg());
-        }
-        mp.insts.push_back(mi);
-
-        if (spilled[i] && !remat[i]) {
-            MachInst spill;
-            spill.op = Opcode::STORE_RES;
-            spill.src0 = mi.dest;
-            spill.hbmAddr = spill_addr[i];
-            spill.irId = idx;
-            mp.insts.push_back(spill);
-            ++mp.spillStores;
+        mp.insts.resize(base_insts[chunk_count]);
+        std::vector<size_t> shard_spill_loads(chunk_count, 0);
+        std::vector<size_t> shard_spill_stores(chunk_count, 0);
+        exec.forChunks(
+            order.size(), kDefaultChunkGrain,
+            [&](size_t c, size_t begin, size_t end) {
+                SliceSink sink{mp.insts.data() + base_insts[c]};
+                u64 scratch_calls = base_scratch[c];
+                for (size_t k = begin; k < end; ++k)
+                    emitOne(cx, order[k], sink, scratch_calls);
+                EFFACT_ASSERT(sink.cursor ==
+                                      mp.insts.data() + base_insts[c + 1] &&
+                                  scratch_calls == base_scratch[c] +
+                                                       chunk_scratch[c],
+                              "sharded emission diverged from its count "
+                              "pre-pass in chunk %zu",
+                              c);
+                shard_spill_loads[c] = sink.spillLoads;
+                shard_spill_stores[c] = sink.spillStores;
+            });
+        for (size_t c = 0; c < chunk_count; ++c) {
+            mp.spillLoads += shard_spill_loads[c];
+            mp.spillStores += shard_spill_stores[c];
         }
     }
 

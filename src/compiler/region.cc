@@ -1,0 +1,24 @@
+#include "compiler/region.h"
+
+namespace effact {
+
+std::vector<ChunkRange>
+splitChunks(size_t n, size_t grain)
+{
+    std::vector<ChunkRange> chunks;
+    if (n == 0)
+        return chunks;
+    const size_t g = grain == 0 ? 1 : grain;
+    const size_t count = n / g == 0 ? 1 : n / g;
+    chunks.reserve(count);
+    // `count` full chunks of `g`, with the final chunk absorbing the
+    // remainder — boundaries depend only on (n, grain).
+    for (size_t c = 0; c < count; ++c) {
+        const size_t begin = c * g;
+        const size_t end = c + 1 == count ? n : begin + g;
+        chunks.push_back(ChunkRange{begin, end});
+    }
+    return chunks;
+}
+
+} // namespace effact

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Within-job parallel execution helper for the compiler. A
+ * `ParallelExec` wraps an (optional) shared `ThreadPool` and hands the
+ * middle/back end two shapes of parallelism:
+ *
+ *  - `forChunks(n, grain, fn)` — region-sharded loops: `[0, n)` is
+ *    split into contiguous chunks whose boundaries depend only on `n`
+ *    and `grain` (never on the worker count), so every thread count
+ *    produces the same chunk decomposition and therefore — given
+ *    order-independent chunk bodies plus a deterministic merge — the
+ *    same bytes.
+ *  - `fork2(a, b)` — two independent analyses side by side (alias
+ *    edges and the SSA dependence graph).
+ *
+ * A default-constructed `ParallelExec` is the serial executor: chunk
+ * bodies run inline in ascending chunk order, `fork2` runs `a` then
+ * `b`. Passes use it to keep their legacy sequential scan as the
+ * 1-thread oracle path.
+ *
+ * Nested use is safe: the chunk tasks go through
+ * `ThreadPool::Group`, whose `wait()` helps execute its own queued
+ * tasks, so a sweep job running on a pool worker can fan its pass
+ * shards into the same pool without deadlock.
+ */
+#ifndef EFFACT_COMPILER_REGION_H
+#define EFFACT_COMPILER_REGION_H
+
+#include <cstddef>
+#include <vector>
+
+#include "runtime/thread_pool.h"
+
+namespace effact {
+
+/** One contiguous shard of an instruction index space. */
+struct ChunkRange
+{
+    size_t begin = 0;
+    size_t end = 0;
+};
+
+/**
+ * Splits `[0, n)` into contiguous chunks of at least `grain` elements
+ * (the final chunk absorbs the remainder up to `2*grain - 1`).
+ * Boundaries are a pure function of `(n, grain)` — the worker count
+ * never enters — which is what makes sharded passes thread-count
+ * independent.
+ */
+std::vector<ChunkRange> splitChunks(size_t n, size_t grain);
+
+/** Default shard grain for instruction-indexed loops: small enough
+ *  that a paper-scale program (~100-300k insts) yields tens of shards,
+ *  large enough that per-chunk overhead stays negligible. */
+constexpr size_t kDefaultChunkGrain = 4096;
+
+/**
+ * Executor handle threaded through the compiler. Copyable and cheap:
+ * it is a non-owning view of the pool. `parallel()` false (the default)
+ * selects every pass's legacy sequential algorithm.
+ */
+class ParallelExec
+{
+  public:
+    ParallelExec() = default;
+    /** `helper_worker` is the pool worker index of the thread that
+     *  will call into the compiler (so inline-executed chunk tasks
+     *  report a stable index); SIZE_MAX = external thread. */
+    explicit ParallelExec(ThreadPool *pool, size_t helper_worker = SIZE_MAX)
+        : pool_(pool), helper_(helper_worker)
+    {
+    }
+
+    bool parallel() const { return pool_ != nullptr; }
+    ThreadPool *pool() const { return pool_; }
+
+    /**
+     * Runs `fn(chunk, begin, end)` for every chunk of `[0, n)`. Serial
+     * executor: ascending chunk order inline. Parallel executor: chunks
+     * run concurrently on the pool (the calling thread helps), so `fn`
+     * must only write chunk-private state; combine per-chunk results
+     * afterwards in ascending chunk order for determinism.
+     */
+    template <class Fn>
+    void forChunks(size_t n, size_t grain, Fn &&fn) const
+    {
+        const std::vector<ChunkRange> chunks = splitChunks(n, grain);
+        if (!parallel() || chunks.size() <= 1) {
+            for (size_t c = 0; c < chunks.size(); ++c)
+                fn(c, chunks[c].begin, chunks[c].end);
+            return;
+        }
+        ThreadPool::Group group(*pool_);
+        for (size_t c = 0; c < chunks.size(); ++c)
+            group.submit([&fn, &chunks, c](size_t) {
+                fn(c, chunks[c].begin, chunks[c].end);
+            });
+        group.wait(helper_);
+    }
+
+    /** Runs two independent thunks, concurrently when parallel. */
+    template <class FnA, class FnB>
+    void fork2(FnA &&a, FnB &&b) const
+    {
+        if (!parallel()) {
+            a();
+            b();
+            return;
+        }
+        ThreadPool::Group group(*pool_);
+        group.submit([&a](size_t) { a(); });
+        b();
+        group.wait(helper_);
+    }
+
+  private:
+    ThreadPool *pool_ = nullptr;
+    size_t helper_ = SIZE_MAX;
+};
+
+} // namespace effact
+
+#endif // EFFACT_COMPILER_REGION_H

@@ -1,5 +1,7 @@
 #include "platform/platform.h"
 
+#include <chrono>
+
 #include "compiler/pass_manager.h"
 
 namespace effact {
@@ -28,12 +30,39 @@ PlatformResult
 Platform::run(Workload &workload, AnalysisManager &analyses,
               CompileCache *cache) const
 {
-    Compiler compiler(copts_);
-    MachineProgram mp = compiler.compile(workload.program, analyses, cache);
+    using Clock = std::chrono::steady_clock;
+    using Ms = std::chrono::duration<double, std::milli>;
 
+    Compiler compiler = makeCompiler();
+    const Clock::time_point t0 = Clock::now();
+    compiler.compileMiddle(workload.program, analyses, cache);
+    const Clock::time_point t1 = Clock::now();
+    MachineProgram mp = compiler.compileBack(workload.program, analyses);
+    const Clock::time_point t2 = Clock::now();
+    SimReport sim = simulate(mp);
+    const Clock::time_point t3 = Clock::now();
+
+    PlatformResult result = assemble(compiler, mp, workload,
+                                     std::move(sim));
+    result.jobStats.set("job.middle.ms", Ms(t1 - t0).count());
+    result.jobStats.set("job.backend.ms", Ms(t2 - t1).count());
+    result.jobStats.set("job.sim.ms", Ms(t3 - t2).count());
+    return result;
+}
+
+SimReport
+Platform::simulate(const MachineProgram &mp) const
+{
     Simulator sim(hw_);
+    return sim.run(mp);
+}
+
+PlatformResult
+Platform::assemble(const Compiler &compiler, const MachineProgram &mp,
+                   const Workload &workload, SimReport sim) const
+{
     PlatformResult result;
-    result.sim = sim.run(mp);
+    result.sim = std::move(sim);
     result.compilerStats = compiler.stats();
     result.benchTimeMs = result.sim.timeMs * workload.repeat;
     result.amortizedUs =

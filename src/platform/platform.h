@@ -22,6 +22,15 @@ struct PlatformResult
 {
     SimReport sim;            ///< one program instance
     StatSet compilerStats;
+    /**
+     * Per-stage wall-clock of this job (`job.middle.ms`,
+     * `job.backend.ms`, `job.sim.ms`; the batch driver adds
+     * `job.ir.ms` for workload construction). Host timings, not
+     * simulated ones — the one result family that is *not*
+     * deterministic; `SweepEngine` aggregates it so perf lanes can see
+     * where a job's latency goes.
+     */
+    StatSet jobStats;
     double benchTimeMs = 0;   ///< program time x workload repeat factor
     double amortizedUs = 0;   ///< per-slot amortized time (bootstrapping)
     double dramGb = 0;        ///< DRAM traffic of the full benchmark
@@ -57,6 +66,24 @@ class Platform
      */
     PlatformResult run(Workload &workload, AnalysisManager &analyses,
                        CompileCache *cache) const;
+
+    // --- Staged pieces (the pipelined sweep path) -----------------------
+    // `run` is exactly `Compiler::compileMiddle` + `compileBack` +
+    // `simulate` + `assemble`; a stage-pipelined driver calls the pieces
+    // as separate pool tasks so stages of different jobs overlap. The
+    // assembled result is identical either way.
+
+    /** A compiler configured for this platform (hardware-adjusted
+     *  options: `sramBytes`, `issueWindow`). */
+    Compiler makeCompiler() const { return Compiler(copts_); }
+
+    /** Simulates a compiled program on this platform's hardware. */
+    SimReport simulate(const MachineProgram &mp) const;
+
+    /** Assembles the benchmark-level result from the staged pieces. */
+    PlatformResult assemble(const Compiler &compiler,
+                            const MachineProgram &mp,
+                            const Workload &workload, SimReport sim) const;
 
     const HardwareConfig &hardware() const { return hw_; }
     const CompilerOptions &compilerOptions() const { return copts_; }

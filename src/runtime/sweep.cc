@@ -1,6 +1,9 @@
 #include "runtime/sweep.h"
 
 #include <algorithm>
+#include <chrono>
+#include <memory>
+#include <optional>
 
 #include "common/logging.h"
 #include "compiler/pass_manager.h"
@@ -9,22 +12,50 @@ namespace effact {
 
 namespace {
 
-/** Runs one job against a worker-owned analysis manager (and, when the
- *  engine has one, the shared compile cache). */
+using Clock = std::chrono::steady_clock;
+using Ms = std::chrono::duration<double, std::milli>;
+
+/** Runs one job monolithically against a worker-owned analysis manager
+ *  (and, when the engine has one, the shared compile cache). `exec`
+ *  carries the within-job parallelism: a default executor keeps every
+ *  pass on the legacy serial scans. */
 SweepResult
 runJob(const SweepJob &job, size_t index, AnalysisManager &analyses,
-       CompileCache *cache)
+       CompileCache *cache, const ParallelExec &exec)
 {
     EFFACT_ASSERT(job.build != nullptr, "sweep job '%s' has no workload",
                   job.name.c_str());
+    const Clock::time_point t0 = Clock::now();
     Workload workload = job.build();
+    const double ir_ms = Ms(Clock::now() - t0).count();
+    analyses.setExec(exec);
     Platform platform(job.hw, job.copts);
     SweepResult r;
     r.name = job.name;
     r.jobIndex = index;
     r.platform = platform.run(workload, analyses, cache);
+    r.platform.jobStats.set("job.ir.ms", ir_ms);
     return r;
 }
+
+/**
+ * Mutable state of one stage-pipelined job, alive from its IR-build
+ * task to its simulate task. Stages chain strictly (each submits the
+ * next when it finishes), so no synchronization beyond the pool queue
+ * is needed; each job owns a private `AnalysisManager` because
+ * consecutive stages may land on different workers.
+ */
+struct StagedJob
+{
+    std::optional<Workload> workload;
+    std::optional<Platform> platform;
+    std::optional<Compiler> compiler;
+    AnalysisManager analyses;
+    MachineProgram mp;
+    double irMs = 0;
+    double middleMs = 0;
+    double backendMs = 0;
+};
 
 /** Accumulates one value into `<key>.{sum,min,max,count}`. */
 void
@@ -72,30 +103,129 @@ SweepEngine::runAll()
     results_.resize(jobs_.size());
 
     const size_t want = threads();
+    const size_t job_threads = std::max<size_t>(opts_.jobThreads, 1);
     if (want <= 1 || jobs_.size() <= 1) {
         // Serial path: submission order on the calling thread, one
         // shared analysis manager (sound: caches key on program uid).
+        // Within-job parallelism still applies — a pool sized
+        // `jobThreads` runs the region shards while the job itself
+        // stays on the calling thread (the single-big-job latency
+        // case).
         workers_used_ = 1;
         AnalysisManager analyses;
+        std::optional<ThreadPool> shard_pool;
+        ParallelExec exec;
+        if (job_threads > 1 && !jobs_.empty()) {
+            shard_pool.emplace(job_threads);
+            exec = ParallelExec(&*shard_pool);
+        }
         for (size_t i = 0; i < jobs_.size(); ++i)
             results_[i] = runJob(jobs_[i], i, analyses,
-                                 opts_.compileCache);
+                                 opts_.compileCache, exec);
     } else {
         const size_t n_workers = std::min(want, jobs_.size());
         workers_used_ = n_workers;
-        // Per-worker analysis managers: caching without locking.
-        // Workers write disjoint result slots, so the only
-        // synchronization is the pool's queue and the final wait
-        // barrier.
-        std::vector<AnalysisManager> analyses(n_workers);
-        ThreadPool pool(n_workers);
-        for (size_t i = 0; i < jobs_.size(); ++i) {
-            pool.submit([this, i, &analyses](size_t worker) {
-                results_[i] = runJob(jobs_[i], i, analyses[worker],
-                                     opts_.compileCache);
-            });
+        // Pool sized for both levels: job tasks outside, region shards
+        // inside (nested task groups share the queue and the workers).
+        const size_t pool_size = std::max(n_workers, job_threads);
+        ThreadPool pool(pool_size);
+        if (!opts_.pipelineStages) {
+            // Per-worker analysis managers: caching without locking.
+            // Workers write disjoint result slots, so the only
+            // synchronization is the pool's queue and the final wait
+            // barrier.
+            std::vector<AnalysisManager> analyses(pool_size);
+            for (size_t i = 0; i < jobs_.size(); ++i) {
+                pool.submit([this, i, &analyses, &pool,
+                             job_threads](size_t worker) {
+                    const ParallelExec exec =
+                        job_threads > 1 ? ParallelExec(&pool, worker)
+                                        : ParallelExec();
+                    results_[i] = runJob(jobs_[i], i, analyses[worker],
+                                         opts_.compileCache, exec);
+                });
+            }
+            pool.wait();
+        } else {
+            // Stage-pipelined: each job is four chained tasks. A stage
+            // submits its successor on completion, so job A's simulate
+            // overlaps job B's back end; `pool.wait()` returns only
+            // once every chain has run to its end (chained submissions
+            // keep the pool busy).
+            std::vector<StagedJob> staged(jobs_.size());
+            for (size_t i = 0; i < jobs_.size(); ++i) {
+                pool.submit([this, i, &staged, &pool,
+                             job_threads](size_t) {
+                    const SweepJob &job = jobs_[i];
+                    EFFACT_ASSERT(job.build != nullptr,
+                                  "sweep job '%s' has no workload",
+                                  job.name.c_str());
+                    StagedJob &st = staged[i];
+                    const Clock::time_point t0 = Clock::now();
+                    st.workload.emplace(job.build());
+                    st.irMs = Ms(Clock::now() - t0).count();
+
+                    pool.submit([this, i, &staged, &pool,
+                                 job_threads](size_t worker) {
+                        const SweepJob &job = jobs_[i];
+                        StagedJob &st = staged[i];
+                        st.platform.emplace(job.hw, job.copts);
+                        st.compiler.emplace(st.platform->makeCompiler());
+                        st.analyses.setExec(
+                            job_threads > 1 ? ParallelExec(&pool, worker)
+                                            : ParallelExec());
+                        const Clock::time_point t0 = Clock::now();
+                        st.compiler->compileMiddle(st.workload->program,
+                                                   st.analyses,
+                                                   opts_.compileCache);
+                        st.middleMs = Ms(Clock::now() - t0).count();
+
+                        pool.submit([this, i, &staged, &pool,
+                                     job_threads](size_t worker) {
+                            StagedJob &st = staged[i];
+                            st.analyses.setExec(
+                                job_threads > 1
+                                    ? ParallelExec(&pool, worker)
+                                    : ParallelExec());
+                            const Clock::time_point t0 = Clock::now();
+                            st.mp = st.compiler->compileBack(
+                                st.workload->program, st.analyses);
+                            st.backendMs = Ms(Clock::now() - t0).count();
+
+                            pool.submit([this, i, &staged](size_t) {
+                                StagedJob &st = staged[i];
+                                const Clock::time_point t0 = Clock::now();
+                                SimReport rep =
+                                    st.platform->simulate(st.mp);
+                                const double sim_ms =
+                                    Ms(Clock::now() - t0).count();
+                                SweepResult &r = results_[i];
+                                r.name = jobs_[i].name;
+                                r.jobIndex = i;
+                                r.platform = st.platform->assemble(
+                                    *st.compiler, st.mp, *st.workload,
+                                    std::move(rep));
+                                r.platform.jobStats.set("job.ir.ms",
+                                                        st.irMs);
+                                r.platform.jobStats.set("job.middle.ms",
+                                                        st.middleMs);
+                                r.platform.jobStats.set("job.backend.ms",
+                                                        st.backendMs);
+                                r.platform.jobStats.set("job.sim.ms",
+                                                        sim_ms);
+                                // Release the job's working set early:
+                                // a big grid holds N IR programs
+                                // otherwise.
+                                st.workload.reset();
+                                st.compiler.reset();
+                                st.mp = MachineProgram();
+                            });
+                        });
+                    });
+                });
+            }
+            pool.wait();
         }
-        pool.wait();
     }
 
     // Aggregates from the ordered results on the calling thread:
@@ -106,6 +236,8 @@ SweepEngine::runAll()
             accumulate(aggregates_, "compile." + key, value);
         for (const auto &[key, value] : r.platform.sim.stats.all())
             accumulate(aggregates_, "sim." + key, value);
+        for (const auto &[key, value] : r.platform.jobStats.all())
+            accumulate(aggregates_, key, value); // already `job.`-prefixed
         accumulate(aggregates_, "platform.benchTimeMs",
                    r.platform.benchTimeMs);
         accumulate(aggregates_, "platform.dramGb", r.platform.dramGb);

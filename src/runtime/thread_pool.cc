@@ -33,7 +33,7 @@ ThreadPool::submit(Task task)
     {
         std::unique_lock<std::mutex> lock(mu_);
         EFFACT_ASSERT(!stopping_, "submit after thread pool shutdown");
-        queue_.push_back(std::move(task));
+        queue_.push_back(Entry{std::move(task), nullptr});
     }
     work_ready_.notify_one();
 }
@@ -47,10 +47,23 @@ ThreadPool::wait()
 }
 
 void
+ThreadPool::finishTask(Group *group)
+{
+    --running_;
+    if (group != nullptr) {
+        EFFACT_ASSERT(group->pending_ > 0, "group task count underflow");
+        if (--group->pending_ == 0)
+            group_done_.notify_all();
+    }
+    if (queue_.empty() && running_ == 0)
+        all_done_.notify_all();
+}
+
+void
 ThreadPool::workerLoop(size_t worker)
 {
     for (;;) {
-        Task task;
+        Entry entry;
         {
             std::unique_lock<std::mutex> lock(mu_);
             work_ready_.wait(
@@ -58,34 +71,99 @@ ThreadPool::workerLoop(size_t worker)
             // Drain-before-stop: shutdown only once the queue is empty.
             if (queue_.empty())
                 return;
-            task = std::move(queue_.front());
+            entry = std::move(queue_.front());
             queue_.pop_front();
             ++running_;
         }
-        task(worker);
+        entry.task(worker);
         {
             std::unique_lock<std::mutex> lock(mu_);
-            --running_;
-            if (queue_.empty() && running_ == 0)
-                all_done_.notify_all();
+            finishTask(entry.group);
         }
     }
 }
 
-size_t
-defaultThreadCount()
+void
+ThreadPool::Group::submit(Task task)
 {
-    if (const char *env = std::getenv("EFFACT_THREADS")) {
+    EFFACT_ASSERT(task != nullptr, "null task submitted to task group");
+    {
+        std::unique_lock<std::mutex> lock(pool_.mu_);
+        EFFACT_ASSERT(!pool_.stopping_, "submit after thread pool shutdown");
+        pool_.queue_.push_back(Entry{std::move(task), this});
+        ++pending_;
+    }
+    pool_.work_ready_.notify_one();
+    // A waiter of this same group (possible when a group task fans out
+    // further work into its own group) must notice the new queue entry.
+    pool_.group_done_.notify_all();
+}
+
+void
+ThreadPool::Group::wait(size_t helper_worker)
+{
+    const size_t inline_index =
+        helper_worker == SIZE_MAX ? pool_.threadCount() : helper_worker;
+    std::unique_lock<std::mutex> lock(pool_.mu_);
+    while (pending_ > 0) {
+        // Help: steal one of our own queued tasks and run it inline.
+        auto it = pool_.queue_.begin();
+        for (; it != pool_.queue_.end(); ++it)
+            if (it->group == this)
+                break;
+        if (it != pool_.queue_.end()) {
+            Entry entry = std::move(*it);
+            pool_.queue_.erase(it);
+            ++pool_.running_;
+            lock.unlock();
+            entry.task(inline_index);
+            lock.lock();
+            pool_.finishTask(this);
+            continue;
+        }
+        // Every remaining task of this group is running on another
+        // thread; sleep until one finishes (or new group work appears).
+        pool_.group_done_.wait(lock, [this] {
+            if (pending_ == 0)
+                return true;
+            for (const Entry &e : pool_.queue_)
+                if (e.group == this)
+                    return true;
+            return false;
+        });
+    }
+}
+
+namespace {
+
+size_t
+envThreadCount(const char *name, size_t fallback)
+{
+    if (const char *env = std::getenv(name)) {
         char *end = nullptr;
         const long v = std::strtol(env, &end, 10);
         if (end != env && *end == '\0' && v > 0)
             return static_cast<size_t>(v);
-        warn("ignoring invalid EFFACT_THREADS='%s' (want a positive "
-             "integer)",
+        warn("ignoring invalid %s='%s' (want a positive integer)", name,
              env);
     }
+    return fallback;
+}
+
+} // namespace
+
+size_t
+defaultThreadCount()
+{
     const unsigned hw = std::thread::hardware_concurrency();
-    return hw == 0 ? 1 : static_cast<size_t>(hw);
+    return envThreadCount("EFFACT_THREADS",
+                          hw == 0 ? 1 : static_cast<size_t>(hw));
+}
+
+size_t
+defaultJobThreadCount()
+{
+    return envThreadCount("EFFACT_JOB_THREADS", 1);
 }
 
 } // namespace effact

@@ -4,6 +4,13 @@
  * are plain callables invoked with the executing worker's index, so a
  * submitter can give each worker its own unlocked context (the
  * `SweepEngine` hands every worker a private `AnalysisManager`).
+ *
+ * `ThreadPool::Group` adds nested-task support: a task already running
+ * on a worker can fan out sub-tasks into the shared queue and block on
+ * just those, helping execute them while it waits. That makes the pool
+ * safe for two-level parallelism (jobs outside, per-job region shards
+ * inside) without a second pool and without deadlock: a waiter never
+ * sleeps while one of its own sub-tasks is still queued.
  */
 #ifndef EFFACT_RUNTIME_THREAD_POOL_H
 #define EFFACT_RUNTIME_THREAD_POOL_H
@@ -28,7 +35,10 @@ class ThreadPool
 {
   public:
     /** Task signature: `worker` is the executing worker's index in
-     *  `[0, threadCount())`, stable for that worker's lifetime. */
+     *  `[0, threadCount())`, stable for that worker's lifetime. Tasks
+     *  executed inline by a thread blocked in `Group::wait()` receive
+     *  the index that waiter passed (its own worker index, or
+     *  `threadCount()` for an external thread). */
     using Task = std::function<void(size_t worker)>;
 
     /** Spawns `threads` workers (at least one). */
@@ -45,17 +55,69 @@ class ThreadPool
     /** Enqueues one task; runnable immediately by any idle worker. */
     void submit(Task task);
 
-    /** Blocks until every submitted task has finished executing. */
+    /** Blocks until every submitted task has finished executing
+     *  (including tasks submitted through groups). Intended for the
+     *  top-level owner; nested tasks use `Group::wait()`. */
     void wait();
 
+    /**
+     * A batch of related tasks that can be waited on independently of
+     * the rest of the pool. Sub-tasks share the pool's queue and
+     * workers; `wait()` *helps*: while its own tasks sit in the queue it
+     * dequeues and runs them on the calling thread, and it only sleeps
+     * when every remaining task of the group is already running on some
+     * other thread. Safe to use from inside a pool task (nested
+     * parallelism) and from external threads alike. Not thread-safe
+     * itself: one thread drives a given group.
+     */
+    class Group
+    {
+      public:
+        explicit Group(ThreadPool &pool) : pool_(pool) {}
+        /** Waits for any stragglers (a submitted task always runs). */
+        ~Group() { wait(); }
+
+        Group(const Group &) = delete;
+        Group &operator=(const Group &) = delete;
+
+        /** Enqueues one task belonging to this group. */
+        void submit(Task task);
+
+        /**
+         * Blocks until every task submitted to this group has finished,
+         * executing queued group tasks inline while it waits. Tasks run
+         * inline receive `helper_worker` as their worker index; pass
+         * the caller's own worker index when waiting from inside a pool
+         * task (defaults to `threadCount()`, the "external thread"
+         * slot).
+         */
+        void wait(size_t helper_worker = SIZE_MAX);
+
+      private:
+        friend class ThreadPool;
+        ThreadPool &pool_;
+        size_t pending_ = 0; ///< queued + running, guarded by pool mu_
+    };
+
   private:
+    /** Queue entry: the task plus its owning group (null = top level) */
+    struct Entry
+    {
+        Task task;
+        Group *group = nullptr;
+    };
+
     void workerLoop(size_t worker);
+    /** Marks one task of `group` finished; wakes waiters. Caller holds
+     *  `mu_`. */
+    void finishTask(Group *group);
 
     std::vector<std::thread> workers_;
-    std::deque<Task> queue_;
+    std::deque<Entry> queue_;
     std::mutex mu_;
     std::condition_variable work_ready_;
     std::condition_variable all_done_;
+    std::condition_variable group_done_;
     size_t running_ = 0; ///< tasks currently executing
     bool stopping_ = false;
 };
@@ -66,6 +128,13 @@ class ThreadPool
  * concurrency (at least 1). `EFFACT_THREADS=1` selects the serial path.
  */
 size_t defaultThreadCount();
+
+/**
+ * Within-job worker-count default: the `EFFACT_JOB_THREADS` environment
+ * variable when set to a positive integer, otherwise 1 (within-job
+ * parallelism is opt-in; results are identical at any setting).
+ */
+size_t defaultJobThreadCount();
 
 } // namespace effact
 

@@ -17,12 +17,20 @@ DepGraph::addEdge(int from, int to, DepKind kind)
 }
 
 void
+DepGraph::addEdges(const std::vector<Edge> &edges)
+{
+    raw_.reserve(raw_.size() + edges.size());
+    for (const Edge &e : edges)
+        addEdge(e.from, e.to, e.kind);
+}
+
+void
 DepGraph::finalize()
 {
     EFFACT_ASSERT(!finalized_, "graph already finalized");
     soff_.assign(n_ + 1, 0);
     poff_.assign(n_ + 1, 0);
-    for (const RawEdge &e : raw_) {
+    for (const Edge &e : raw_) {
         ++soff_[static_cast<size_t>(e.from) + 1];
         ++poff_[static_cast<size_t>(e.to) + 1];
     }
@@ -35,7 +43,7 @@ DepGraph::finalize()
     // Stable fill: per-node edge order is append order.
     std::vector<uint32_t> scur(soff_.begin(), soff_.end() - 1);
     std::vector<uint32_t> pcur(poff_.begin(), poff_.end() - 1);
-    for (const RawEdge &e : raw_) {
+    for (const Edge &e : raw_) {
         sedge_[scur[static_cast<size_t>(e.from)]++] = {e.to, e.kind};
         pedge_[pcur[static_cast<size_t>(e.to)]++] = {e.from, e.kind};
     }

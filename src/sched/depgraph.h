@@ -63,6 +63,14 @@ class DepGraph
     DepGraph() = default;
     explicit DepGraph(size_t n) : n_(n) {}
 
+    /** One raw `(from, to, kind)` edge, for bulk append. */
+    struct Edge
+    {
+        int from;
+        int to;
+        DepKind kind;
+    };
+
     /**
      * IR-level graph: SSA true dependences from the operand ids of every
      * live instruction, plus the memory-ordering edges produced by
@@ -81,6 +89,13 @@ class DepGraph
 
     /** Appends one edge; `from` must precede `to` in the stream. */
     void addEdge(int from, int to, DepKind kind);
+
+    /** Appends a batch of edges (same precondition as `addEdge`).
+     *  Shard-collected edge lists concatenated in ascending chunk order
+     *  reproduce the serial append order byte-for-byte — this is how
+     *  the parallel `AnalysisManager` build stays bit-identical to
+     *  `fromIr`. */
+    void addEdges(const std::vector<Edge> &edges);
 
     /** Compacts appended edges into CSR form; call before queries. */
     void finalize();
@@ -109,15 +124,8 @@ class DepGraph
     criticalPath(const std::vector<double> &node_latency) const;
 
   private:
-    struct RawEdge
-    {
-        int from;
-        int to;
-        DepKind kind;
-    };
-
     size_t n_ = 0;
-    std::vector<RawEdge> raw_;
+    std::vector<Edge> raw_;
     // CSR form, valid after finalize().
     std::vector<uint32_t> soff_, poff_;
     std::vector<DepEdge> sedge_, pedge_;

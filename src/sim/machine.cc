@@ -98,26 +98,42 @@ class ReadyGroups
             later_[grp].emplace(data_ready, idx);
     }
 
-    /** Re-reads the floors of the groups a commit can have moved (the
-     *  committed FU class and, if the HBM channel advanced, every
-     *  group whose floor covers it) and migrates members whose
-     *  data-ready time the floor has caught up with. */
+    /**
+     * Advances the floors of the groups a commit can have moved (the
+     * committed FU class and, if the HBM channel advanced, every group
+     * whose floor covers it) and migrates members whose data-ready time
+     * the floor has caught up with.
+     *
+     * Batched per commit: every floor is a max/min over resource free
+     * times, the free times only move forward, and a commit moves only
+     * its own FU class and (maybe) the HBM channel — so each moved
+     * primitive is read once and every dependent group's floor is just
+     * `max(stored floor, moved primitive)`. The per-touched-group
+     * `floorOf` re-derivation (which re-read the unmoved components,
+     * `FU_CLASSES + 2` HBM reads on a streaming commit) is gone; the
+     * stored floors stay exactly `floorOf` by induction from the
+     * constructor.
+     */
     void refresh(const IssuePlan &committed)
     {
         if (committed.fu_class >= 0) {
-            touch(kPlain0 + committed.fu_class);
-            touch(kFill0 + committed.fu_class);
+            const double fu = res_.fuFreeMin(committed.fu_class);
+            raiseTo(kPlain0 + committed.fu_class, fu);
+            raiseTo(kFill0 + committed.fu_class, fu);
             if (committed.fu_class == FU_NTT ||
                 committed.fu_class == FU_MUL) {
-                touch(kMac);
-                touch(kFillMac);
+                const double mac = std::min(res_.fuFreeMin(FU_NTT),
+                                            res_.fuFreeMin(FU_MUL));
+                raiseTo(kMac, mac);
+                raiseTo(kFillMac, mac);
             }
         }
         if (committed.uses_dram) {
-            touch(kMem);
+            const double hbm = res_.hbmFree();
+            raiseTo(kMem, hbm);
             for (int cls = 0; cls < FU_CLASSES; ++cls)
-                touch(kFill0 + cls);
-            touch(kFillMac);
+                raiseTo(kFill0 + cls, hbm);
+            raiseTo(kFillMac, hbm);
         }
     }
 
@@ -165,9 +181,11 @@ class ReadyGroups
     }
 
   private:
-    void touch(int grp)
+    /** Raises group `grp`'s floor to (at least) `f` and migrates the
+     *  members the new floor has caught up with. No-op when the floor
+     *  already covers `f` (the unmoved-component case). */
+    void raiseTo(int grp, double f)
     {
-        const double f = floorOf(grp);
         if (f <= floor_[grp])
             return;
         floor_[grp] = f;

@@ -44,6 +44,7 @@
 #include "common/rng.h"
 #include "compiler/pass_manager.h"
 #include "platform/platform.h"
+#include "runtime/thread_pool.h"
 #include "sim/machine.h"
 
 namespace effact {
@@ -425,12 +426,25 @@ legacyOptimize(IrProgram &prog, const CompilerOptions &opts, StatSet &stats)
     prog.compact();
 }
 
-/** The fixed-point pipeline over the same option switches. */
+/** Shard workers for the within-job-parallel recompiles, shared across
+ *  seeds (the pool is stateless between uses). */
+ThreadPool &
+fuzzPool()
+{
+    static ThreadPool pool(8);
+    return pool;
+}
+
+/** The fixed-point pipeline over the same option switches. A parallel
+ *  `exec` runs every pass region-sharded — the randomized pin that the
+ *  sharded pipeline is bit-identical to the serial one. */
 void
 fixedPointOptimize(IrProgram &prog, const CompilerOptions &opts,
-                   StatSet &stats)
+                   StatSet &stats,
+                   const ParallelExec &exec = ParallelExec())
 {
     AnalysisManager analyses;
+    analyses.setExec(exec);
     PassManager pm = PassManager::fromSpec(pipelineSpecFromOptions(opts));
     pm.setMaxIterations(opts.pipelineMaxIterations);
     // Every randomized pipeline run is checkpointed: a pass that leaves
@@ -481,6 +495,11 @@ checkSemanticEquivalence(uint64_t seed, GenMode mode, size_t target_insts)
         legacyOptimize(legacy, opts, stats);
         IrProgram fixed_point = original;
         fixedPointOptimize(fixed_point, opts, stats);
+        // Region-sharded run of the same pipeline: identical final IR.
+        IrProgram sharded = original;
+        fixedPointOptimize(sharded, opts, stats,
+                           ParallelExec(&fuzzPool()));
+        EXPECT_EQ(fingerprint(sharded), fingerprint(fixed_point)) << tag;
 
         EXPECT_EQ(interpret(legacy), mem_original) << tag;
         EXPECT_EQ(interpret(fixed_point), mem_original) << tag;
@@ -539,6 +558,22 @@ checkSimulatorEquivalence(uint64_t seed, size_t target_insts)
     Compiler compiler(opts);
     MachineProgram mp = compiler.compile(prog);
     ASSERT_FALSE(mp.insts.empty()) << "seed " << seed;
+
+    // Within-job-parallel recompile of the same input: machine code
+    // byte-identical across the whole random option/hardware space
+    // (spill-heavy SRAM budgets exercise the sharded emission's scratch
+    // round-robin seeding).
+    {
+        IrProgram prog_sharded =
+            ProgramGen(seed, mode, target_insts).build();
+        Compiler sharded_compiler(opts);
+        AnalysisManager analyses;
+        analyses.setExec(ParallelExec(&fuzzPool()));
+        const MachineProgram mp_sharded =
+            sharded_compiler.compile(prog_sharded, analyses);
+        EXPECT_EQ(fingerprint(mp_sharded), fingerprint(mp))
+            << "seed " << seed;
+    }
 
     Simulator sim(hw);
     const SimReport ev = sim.run(mp);

@@ -331,9 +331,170 @@ TEST(SweepEngine, MoreThreadsThanJobsIsFine)
     EXPECT_GT(results[0].platform.sim.cycles, 0.0);
 }
 
+// --- Within-job parallelism and stage pipelining --------------------------
+
+/** The serial oracle for a grid, with a forced verify level. */
+std::vector<SweepResult>
+serialOracle(const std::vector<SweepJob> &jobs, int verify_level = -1)
+{
+    SweepOptions o;
+    o.threads = 1;
+    o.verifyLevel = verify_level;
+    o.jobThreads = 1; // pin: the default reads EFFACT_JOB_THREADS
+    SweepEngine engine(o);
+    for (const SweepJob &job : jobs)
+        engine.submit(job);
+    return engine.runAll();
+}
+
+void
+expectSameResults(const std::vector<SweepResult> &got,
+                  const std::vector<SweepResult> &oracle,
+                  const std::string &tag)
+{
+    ASSERT_EQ(got.size(), oracle.size()) << tag;
+    for (size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].name, oracle[i].name) << tag;
+        EXPECT_DOUBLE_EQ(got[i].platform.sim.cycles,
+                         oracle[i].platform.sim.cycles)
+            << tag << " " << oracle[i].name;
+        EXPECT_DOUBLE_EQ(got[i].platform.sim.dramBytes,
+                         oracle[i].platform.sim.dramBytes)
+            << tag << " " << oracle[i].name;
+        EXPECT_EQ(got[i].platform.machineFingerprint,
+                  oracle[i].platform.machineFingerprint)
+            << tag << " " << oracle[i].name;
+        EXPECT_DOUBLE_EQ(got[i].platform.benchTimeMs,
+                         oracle[i].platform.benchTimeMs)
+            << tag << " " << oracle[i].name;
+    }
+}
+
+TEST(SweepEngine, JobThreadsKeepResultsIdentical)
+{
+    // Within-job parallelism at 1, 2 and 8 shard workers — stacked on
+    // serial and concurrent job execution — must reproduce the serial
+    // oracle bit for bit (region chunking depends only on program
+    // sizes, never on worker counts).
+    const std::vector<SweepJob> jobs = smallGrid();
+    const std::vector<SweepResult> oracle = serialOracle(jobs);
+    SweepOptions oracle_opts;
+    oracle_opts.threads = 1;
+    oracle_opts.jobThreads = 1;
+    SweepEngine oracle_engine(oracle_opts);
+    for (const SweepJob &job : jobs)
+        oracle_engine.submit(job);
+    oracle_engine.runAll();
+    const auto oracle_agg =
+        deterministicAggregates(oracle_engine.aggregates());
+
+    for (size_t threads : {1, 3}) {
+        for (size_t job_threads : {2, 8}) {
+            SweepOptions o;
+            o.threads = threads;
+            o.jobThreads = job_threads;
+            SweepEngine engine(o);
+            for (const SweepJob &job : jobs)
+                engine.submit(job);
+            const std::string tag = "threads=" +
+                                    std::to_string(threads) +
+                                    " jobThreads=" +
+                                    std::to_string(job_threads);
+            expectSameResults(engine.runAll(), oracle, tag);
+            auto agg = deterministicAggregates(engine.aggregates());
+            agg["sweep.threads"] = oracle_agg.at("sweep.threads");
+            EXPECT_EQ(agg, oracle_agg) << tag;
+        }
+    }
+}
+
+TEST(SweepEngine, PipelinedStagesMatchMonolithic)
+{
+    // Stage-pipelined execution (with and without within-job shards)
+    // only changes host scheduling, never results or aggregates.
+    const std::vector<SweepJob> jobs = smallGrid();
+    const std::vector<SweepResult> oracle = serialOracle(jobs);
+    for (size_t job_threads : {1, 8}) {
+        SweepOptions o;
+        o.threads = 4;
+        o.jobThreads = job_threads;
+        o.pipelineStages = true;
+        SweepEngine engine(o);
+        for (const SweepJob &job : jobs)
+            engine.submit(job);
+        const std::string tag =
+            "pipelined jobThreads=" + std::to_string(job_threads);
+        expectSameResults(engine.runAll(), oracle, tag);
+        // Per-stage wall-clock stats exist for every job, in both the
+        // pipelined and monolithic paths.
+        const StatSet &agg = engine.aggregates();
+        for (const char *key :
+             {"job.ir.ms.count", "job.middle.ms.count",
+              "job.backend.ms.count", "job.sim.ms.count"})
+            EXPECT_EQ(agg.get(key), double(jobs.size())) << tag << key;
+    }
+}
+
+TEST(SweepEngine, VerifiedPresetSweepWithNestedParallelism)
+{
+    // All four Fig. 11 presets, fully checkpoint-verified, with stage
+    // pipelining and 8 shard workers: verifier-clean and equal to the
+    // serial verified oracle.
+    FheParams fhe;
+    fhe.logN = 13;
+    fhe.levels = 8;
+    fhe.dnum = 2;
+    const HardwareConfig hw = HardwareConfig::asicEffact27();
+    std::vector<SweepJob> jobs;
+    const std::vector<std::pair<const char *, CompilerOptions>> presets =
+        {{"baseline", Platform::baselineOptions(hw.sramBytes)},
+         {"mad", Platform::madEnhancedOptions(hw.sramBytes)},
+         {"streaming", Platform::streamingOptions(hw.sramBytes)},
+         {"full", Platform::fullOptions(hw.sramBytes)}};
+    for (const auto &[name, copts] : presets) {
+        SweepJob job;
+        job.name = name;
+        job.build = [fhe] { return buildDbLookup(fhe, 48); };
+        job.hw = hw;
+        job.copts = copts;
+        jobs.push_back(std::move(job));
+    }
+    const std::vector<SweepResult> oracle =
+        serialOracle(jobs, /*verify_level=*/1);
+    SweepOptions o;
+    o.threads = 4;
+    o.verifyLevel = 1;
+    o.jobThreads = 8;
+    o.pipelineStages = true;
+    SweepEngine engine(o);
+    for (const SweepJob &job : jobs)
+        engine.submit(job);
+    expectSameResults(engine.runAll(), oracle, "verified presets");
+}
+
+TEST(SweepEngine, SharedCacheWithJobThreadsStaysIdentical)
+{
+    // Shared compile cache + within-job shards + pipelining: snapshots
+    // published by region-sharded middle ends replay bit-identically.
+    const std::vector<SweepJob> jobs = smallGrid();
+    const std::vector<SweepResult> oracle = serialOracle(jobs);
+    CompileCache cache;
+    SweepOptions o;
+    o.threads = 4;
+    o.compileCache = &cache;
+    o.jobThreads = 8;
+    o.pipelineStages = true;
+    SweepEngine engine(o);
+    for (const SweepJob &job : jobs)
+        engine.submit(job);
+    expectSameResults(engine.runAll(), oracle, "cached+sharded");
+    EXPECT_GT(cache.statsSnapshot().get("cache.hits"), 0.0);
+}
+
 TEST(DefaultThreadCount, IsPositive)
 {
     EXPECT_GE(defaultThreadCount(), 1u);
+    EXPECT_GE(defaultJobThreadCount(), 1u);
 }
 
 } // namespace
