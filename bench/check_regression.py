@@ -1,8 +1,8 @@
 #!/usr/bin/env python3
 """Gate a perf-lane JSON against its checked-in baseline.
 
-Understands two schemas, dispatched on the "schema" field (current and
-baseline must agree):
+Understands three schemas, dispatched on the "schema" field (current
+and baseline must agree):
 
 - effact-bench-sweep-v1 (bench_perf_lane -> BENCH_sweep.json vs
   bench/baseline.json): simulator throughput + the fig11 preset x SRAM
@@ -11,6 +11,12 @@ baseline must agree):
 - effact-bench-latency-v1 (bench_compile_latency ->
   BENCH_compile_latency.json vs bench/baseline_latency.json): the
   single-big-job within-job-parallelism latency measurement.
+
+- effact-bench-kernels-v1 (bench_kernels -> BENCH_kernels.json vs
+  bench/baseline_kernels.json): the SIMD kernel-tier microbench. The
+  binary itself aborts if any vector tier's outputs differ from the
+  scalar oracle; the exact `kernels.fingerprint` field additionally
+  pins the oracle's semantics across commits and machines.
 
 Two classes of comparison:
 
@@ -88,6 +94,30 @@ SCHEMAS = {
         "wall": [
             "compile_latency.serial_wall_ms",
             "compile_latency.parallel_wall_ms",
+        ],
+        "grid": False,
+    },
+    # The kernel bench gates the scalar-vs-vector microbench walls and
+    # the cross-tier output fingerprint. `tiers_exercised` and the
+    # per-family speedup ratios are recorded but not gated: they
+    # describe the runner (which vector tiers its CPU has), not the
+    # code.
+    "effact-bench-kernels-v1": {
+        "exact": [
+            "kernels.fingerprint",
+            "kernels.degree",
+        ],
+        "wall": [
+            "kernels.ntt_forward.scalar_wall_ms",
+            "kernels.ntt_forward.vector_wall_ms",
+            "kernels.ntt_inverse.scalar_wall_ms",
+            "kernels.ntt_inverse.vector_wall_ms",
+            "kernels.pointwise_mul.scalar_wall_ms",
+            "kernels.pointwise_mul.vector_wall_ms",
+            "kernels.bconv.scalar_wall_ms",
+            "kernels.bconv.vector_wall_ms",
+            "kernels.bconv_montgomery.scalar_wall_ms",
+            "kernels.bconv_montgomery.vector_wall_ms",
         ],
         "grid": False,
     },

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
-# Regenerate bench/baseline.json and bench/baseline_latency.json, the
-# perf-gate references for the CI `perf` job. Run this deliberately when
-# compiler/simulator behavior changes move the deterministic fields
-# (cycles, fingerprints), and commit the results together with the
-# change that moved them.
+# Regenerate bench/baseline.json, bench/baseline_latency.json and
+# bench/baseline_kernels.json, the perf-gate references for the CI
+# `perf` job. Run this deliberately when compiler/simulator/kernel
+# behavior changes move the deterministic fields (cycles,
+# fingerprints), and commit the results together with the change that
+# moved them.
 #
 # Wall-clock fields are machine-dependent: numbers produced here come
 # from *this* machine. If the CI runner class is slower, either leave
@@ -17,13 +18,16 @@ BUILD_DIR=${BUILD_DIR:-build-perf}
 cmake -B "$BUILD_DIR" -S . \
   -DCMAKE_BUILD_TYPE=Release \
   -DEFFACT_BUILD_TESTS=OFF \
-  -DEFFACT_BUILD_EXAMPLES=OFF \
-  -DEFFACT_FETCH_BENCHMARK=OFF
-cmake --build "$BUILD_DIR" -j --target bench_perf_lane bench_compile_latency
+  -DEFFACT_BUILD_EXAMPLES=OFF
+cmake --build "$BUILD_DIR" -j \
+  --target bench_perf_lane bench_compile_latency bench_kernels
 "$BUILD_DIR"/bench/bench_perf_lane bench/baseline.json
 python3 bench/check_regression.py bench/baseline.json bench/baseline.json
 "$BUILD_DIR"/bench/bench_compile_latency bench/baseline_latency.json
 python3 bench/check_regression.py bench/baseline_latency.json \
   bench/baseline_latency.json
-echo "wrote bench/baseline.json + bench/baseline_latency.json —" \
-  "review wall_ms headroom before committing"
+"$BUILD_DIR"/bench/bench_kernels bench/baseline_kernels.json
+python3 bench/check_regression.py bench/baseline_kernels.json \
+  bench/baseline_kernels.json
+echo "wrote bench/baseline.json + bench/baseline_latency.json +" \
+  "baseline_kernels.json — review wall_ms headroom before committing"

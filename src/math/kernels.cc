@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Kernel-table dispatch: tier -> table, with graceful fallback when a
+ * tier's translation unit was built without its instruction set (the
+ * AVX2 TU compiles to a stub on non-x86 hosts). The active tier itself
+ * is resolved in common/simd.cc from CPUID + `EFFACT_SIMD`.
+ */
+#include "math/kernels.h"
+
+namespace effact {
+namespace kernels {
+
+// Defined in kernels_avx2.cc; returns nullptr when that TU was built
+// without AVX2 support.
+const KernelTable *avx2KernelsOrNull();
+
+const KernelTable &
+forTier(SimdTier tier)
+{
+    if (tier >= SimdTier::Avx2) {
+        if (const KernelTable *t = avx2KernelsOrNull())
+            return *t;
+    }
+    return scalarKernels();
+}
+
+} // namespace kernels
+} // namespace effact

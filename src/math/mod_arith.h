@@ -85,6 +85,12 @@ class Barrett
 
     u64 modulus() const { return q_; }
 
+    /** floor(2^(2k) / q) — exposed for the vectorized kernel tiers. */
+    u64 mu() const { return mu_; }
+
+    /** Bit length k of q — exposed for the vectorized kernel tiers. */
+    unsigned kBits() const { return k_; }
+
     /** x mod q for x < q^2. */
     u64
     reduce(u128 x) const

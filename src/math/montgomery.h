@@ -31,6 +31,9 @@ class Montgomery
     /** R^2 mod q, used to enter the Montgomery domain. */
     u64 rSquared() const { return r2_; }
 
+    /** -q^-1 mod 2^64 — exposed for the vectorized kernel tiers. */
+    u64 qInvNeg() const { return qInvNeg_; }
+
     /**
      * Montgomery reduction: REDC(T) = T * R^-1 mod q for T < q * R.
      */

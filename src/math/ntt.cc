@@ -19,6 +19,8 @@ Ntt::Ntt(size_t n, u64 q) : n_(n), q_(q), barrett_(q)
     const uint32_t logn = log2Exact(n);
     rootsBitrev_.resize(n);
     invRootsBitrev_.resize(n);
+    rootsShoup_.resize(n);
+    invRootsShoup_.resize(n);
     const u64 psi_inv = invMod(psi_, q);
     u64 fwd = 1;
     u64 inv = 1;
@@ -33,53 +35,40 @@ Ntt::Ntt(size_t n, u64 q) : n_(n), q_(q), barrett_(q)
         uint32_t r = bitReverse(static_cast<uint32_t>(i), logn);
         rootsBitrev_[i] = fwd_pow[r];
         invRootsBitrev_[i] = inv_pow[r];
+        // Shoup pre-scaled images, stored in the same bit-reversed
+        // layout so every butterfly stage reads both tables with the
+        // same contiguous access pattern.
+        rootsShoup_[i] = kernels::shoupPrecompute(rootsBitrev_[i], q);
+        invRootsShoup_[i] = kernels::shoupPrecompute(invRootsBitrev_[i], q);
     }
+}
+
+kernels::NttTables
+Ntt::kernelTables() const
+{
+    kernels::NttTables t;
+    t.q = q_;
+    t.roots = rootsBitrev_.data();
+    t.rootsShoup = rootsShoup_.data();
+    t.invRoots = invRootsBitrev_.data();
+    t.invRootsShoup = invRootsShoup_.data();
+    t.barrett = &barrett_;
+    return t;
 }
 
 void
 Ntt::forward(u64 *a) const
 {
-    // Cooley-Tukey DIT with merged psi powers (Longa-Naehrig style):
-    // natural-order input, bit-reversed-order output.
-    size_t t = n_;
-    for (size_t m = 1; m < n_; m <<= 1) {
-        t >>= 1;
-        for (size_t i = 0; i < m; ++i) {
-            const u64 w = rootsBitrev_[m + i];
-            const size_t j1 = 2 * i * t;
-            for (size_t j = j1; j < j1 + t; ++j) {
-                const u64 u = a[j];
-                const u64 v = barrett_.mul(a[j + t], w);
-                a[j] = addMod(u, v, q_);
-                a[j + t] = subMod(u, v, q_);
-            }
-        }
-    }
+    kernels::active().nttForward(a, n_, kernelTables());
 }
 
 void
 Ntt::transformBackward(u64 *a, bool scale) const
 {
-    // Gentleman-Sande DIF consuming bit-reversed order.
-    size_t t = 1;
-    for (size_t m = n_; m > 1; m >>= 1) {
-        const size_t h = m >> 1;
-        for (size_t i = 0; i < h; ++i) {
-            const u64 w = invRootsBitrev_[h + i];
-            const size_t j1 = 2 * i * t;
-            for (size_t j = j1; j < j1 + t; ++j) {
-                const u64 u = a[j];
-                const u64 v = a[j + t];
-                a[j] = addMod(u, v, q_);
-                a[j + t] = barrett_.mul(subMod(u, v, q_), w);
-            }
-        }
-        t <<= 1;
-    }
-    if (scale) {
-        for (size_t i = 0; i < n_; ++i)
-            a[i] = barrett_.mul(a[i], nInv_);
-    }
+    const kernels::KernelTable &k = kernels::active();
+    k.nttInverse(a, n_, kernelTables());
+    if (scale)
+        k.mulConstV(a, a, n_, nInv_, barrett_);
 }
 
 void
@@ -109,11 +98,8 @@ Ntt::backward(std::vector<u64> &a) const
 }
 
 std::vector<u64>
-Ntt::negacyclicMulSchoolbook(const std::vector<u64> &a,
-                             const std::vector<u64> &b, u64 q)
+Ntt::negacyclicMulSchoolbook(const u64 *a, const u64 *b, size_t n, u64 q)
 {
-    const size_t n = a.size();
-    EFFACT_ASSERT(b.size() == n, "operand size mismatch");
     std::vector<u64> c(n, 0);
     for (size_t i = 0; i < n; ++i) {
         if (a[i] == 0)

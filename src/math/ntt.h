@@ -19,6 +19,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/simd.h"
+#include "math/kernels.h"
 #include "math/mod_arith.h"
 
 namespace effact {
@@ -55,9 +57,18 @@ class Ntt
     /**
      * Negacyclic convolution reference: c = a * b mod (X^N + 1, q).
      * O(N^2); used only by tests as ground truth for the NTT path.
+     * Pointer spans so callers can pass any u64 storage (plain or
+     * aligned vectors).
      */
-    static std::vector<u64> negacyclicMulSchoolbook(
-        const std::vector<u64> &a, const std::vector<u64> &b, u64 q);
+    static std::vector<u64> negacyclicMulSchoolbook(const u64 *a,
+                                                    const u64 *b, size_t n,
+                                                    u64 q);
+
+    /**
+     * Twiddle tables in kernel-dispatch form (bit-reversed roots plus
+     * their Shoup pre-scaled images) — what the SIMD tiers consume.
+     */
+    kernels::NttTables kernelTables() const;
 
   private:
     void transformBackward(u64 *a, bool scale) const;
@@ -67,8 +78,10 @@ class Ntt
     u64 psi_;
     u64 nInv_;
     Barrett barrett_;
-    std::vector<u64> rootsBitrev_;    ///< psi^k, k bit-reversed, CT order
-    std::vector<u64> invRootsBitrev_; ///< psi^-k for the GS network
+    AlignedU64Vec rootsBitrev_;      ///< psi^k, k bit-reversed, CT order
+    AlignedU64Vec rootsShoup_;       ///< floor(rootsBitrev * 2^64 / q)
+    AlignedU64Vec invRootsBitrev_;   ///< psi^-k for the GS network
+    AlignedU64Vec invRootsShoup_;    ///< floor(invRootsBitrev * 2^64 / q)
 };
 
 } // namespace effact

@@ -1,6 +1,7 @@
 #include "rns/bconv.h"
 
 #include "common/logging.h"
+#include "math/kernels.h"
 
 namespace effact {
 
@@ -64,28 +65,24 @@ BaseConverter::convert(const RnsPoly &a) const
     const size_t n = a.degree();
     const size_t l = from_->size();
     const size_t k = to_->size();
+    const kernels::KernelTable &kern = kernels::active();
 
-    // t_j = a_j * qhat_j^-1 mod q_j (one vector MULT per source limb).
-    std::vector<std::vector<u64>> t(l);
-    for (size_t j = 0; j < l; ++j) {
-        const Barrett &br = from_->limb(j).barrett;
-        t[j].resize(n);
-        const auto &src = a.limb(j);
-        for (size_t i = 0; i < n; ++i)
-            t[j][i] = br.mul(src[i], qhatInv_[j]);
-    }
+    // t_j = a_j * qhat_j^-1 mod q_j (one vector MULT per source limb),
+    // into one flat aligned scratch buffer instead of l separate
+    // allocations. Per-limb reducer state (the Barrett context and the
+    // constant's derived form) is hoisted once per kernel call.
+    AlignedU64Vec t(l * n);
+    for (size_t j = 0; j < l; ++j)
+        kern.mulConstV(t.data() + j * n, a.limb(j).data(), n, qhatInv_[j],
+                       from_->limb(j).barrett);
 
     // out_p = sum_j t_j * (qhat_j mod p) — l MAC passes per target limb.
     RnsPoly out(to_, PolyFormat::Coeff);
     for (size_t p = 0; p < k; ++p) {
         const Barrett &br = to_->limb(p).barrett;
-        const u64 pi = to_->prime(p);
-        auto &dst = out.limb(p);
-        for (size_t j = 0; j < l; ++j) {
-            const u64 c = qhatModP_[j][p];
-            for (size_t i = 0; i < n; ++i)
-                dst[i] = addMod(dst[i], br.mul(t[j][i], c), pi);
-        }
+        u64 *dst = out.limb(p).data();
+        for (size_t j = 0; j < l; ++j)
+            kern.macConstV(dst, t.data() + j * n, n, qhatModP_[j][p], br);
     }
     return out;
 }
@@ -99,18 +96,21 @@ BaseConverter::convertExact(const RnsPoly &a) const
     const size_t n = a.degree();
     const size_t l = from_->size();
     const size_t k = to_->size();
+    const kernels::KernelTable &kern = kernels::active();
 
-    std::vector<std::vector<u64>> t(l);
+    AlignedU64Vec t(l * n);
     std::vector<u64> overflow(n); // e = round(sum v_j / q_j) per coeff
     std::vector<long double> frac(n, 0.0L);
     for (size_t j = 0; j < l; ++j) {
-        const Barrett &br = from_->limb(j).barrett;
-        t[j].resize(n);
-        const auto &src = a.limb(j);
-        for (size_t i = 0; i < n; ++i) {
-            t[j][i] = br.mul(src[i], qhatInv_[j]);
-            frac[i] += static_cast<long double>(t[j][i]) * qInvReal_[j];
-        }
+        u64 *tj = t.data() + j * n;
+        kern.mulConstV(tj, a.limb(j).data(), n, qhatInv_[j],
+                       from_->limb(j).barrett);
+        // The overflow estimate stays scalar long-double arithmetic
+        // (not a dispatched kernel): same j-major accumulation order as
+        // ever, so the rounded estimate is unchanged on every tier.
+        const long double q_inv = qInvReal_[j];
+        for (size_t i = 0; i < n; ++i)
+            frac[i] += static_cast<long double>(tj[i]) * q_inv;
     }
     for (size_t i = 0; i < n; ++i)
         overflow[i] = static_cast<u64>(frac[i] + 0.5L);
@@ -119,14 +119,12 @@ BaseConverter::convertExact(const RnsPoly &a) const
     for (size_t p = 0; p < k; ++p) {
         const Barrett &br = to_->limb(p).barrett;
         const u64 pi = to_->prime(p);
-        auto &dst = out.limb(p);
-        for (size_t j = 0; j < l; ++j) {
-            const u64 c = qhatModP_[j][p];
-            for (size_t i = 0; i < n; ++i)
-                dst[i] = addMod(dst[i], br.mul(t[j][i], c), pi);
-        }
+        u64 *dst = out.limb(p).data();
+        for (size_t j = 0; j < l; ++j)
+            kern.macConstV(dst, t.data() + j * n, n, qhatModP_[j][p], br);
+        const u64 q_mod_p = qModP_[p];
         for (size_t i = 0; i < n; ++i) {
-            u64 corr = mulMod(overflow[i] % pi, qModP_[p], pi);
+            u64 corr = mulMod(overflow[i] % pi, q_mod_p, pi);
             dst[i] = subMod(dst[i], corr, pi);
         }
     }
@@ -142,30 +140,24 @@ BaseConverter::convertMontgomery(const RnsPoly &a_sm, bool scale_n_inv) const
     const size_t n = a_sm.degree();
     const size_t l = from_->size();
     const size_t k = to_->size();
+    const kernels::KernelTable &kern = kernels::active();
 
     // MontMult(SM input, NM constant) -> NM intermediate (Sec. IV-D5).
-    std::vector<std::vector<u64>> t(l);
-    for (size_t j = 0; j < l; ++j) {
-        const Montgomery &mont = from_->limb(j).mont;
-        const u64 c = scale_n_inv ? qhatInvNInv_[j] : qhatInv_[j];
-        t[j].resize(n);
-        const auto &src = a_sm.limb(j);
-        for (size_t i = 0; i < n; ++i)
-            t[j][i] = mont.mul(src[i], c);
-    }
+    const std::vector<u64> &c1 = scale_n_inv ? qhatInvNInv_ : qhatInv_;
+    AlignedU64Vec t(l * n);
+    for (size_t j = 0; j < l; ++j)
+        kern.montMulConstV(t.data() + j * n, a_sm.limb(j).data(), n, c1[j],
+                           from_->limb(j).mont);
 
     // MontMult(NM intermediate, DM constant) -> SM output: the DM constant
     // re-lifts the result into the Montgomery domain for free.
     RnsPoly out(to_, PolyFormat::Coeff);
     for (size_t p = 0; p < k; ++p) {
         const Montgomery &mont = to_->limb(p).mont;
-        const u64 pi = to_->prime(p);
-        auto &dst = out.limb(p);
-        for (size_t j = 0; j < l; ++j) {
-            const u64 c = qhatModPDm_[j][p];
-            for (size_t i = 0; i < n; ++i)
-                dst[i] = addMod(dst[i], mont.mul(t[j][i], c), pi);
-        }
+        u64 *dst = out.limb(p).data();
+        for (size_t j = 0; j < l; ++j)
+            kern.montMacConstV(dst, t.data() + j * n, n, qhatModPDm_[j][p],
+                               mont);
     }
     return out;
 }

@@ -2,13 +2,14 @@
 
 #include "common/logging.h"
 #include "math/automorphism.h"
+#include "math/kernels.h"
 
 namespace effact {
 
 RnsPoly::RnsPoly(std::shared_ptr<const RnsBasis> basis, PolyFormat format)
     : basis_(std::move(basis)), format_(format)
 {
-    limbs_.assign(basis_->size(), std::vector<u64>(basis_->degree(), 0));
+    limbs_.assign(basis_->size(), LimbVec(basis_->degree(), 0));
 }
 
 void
@@ -39,12 +40,11 @@ RnsPoly::addInPlace(const RnsPoly &other)
     EFFACT_ASSERT(format_ == other.format_ &&
                       limbs_.size() == other.limbs_.size(),
                   "operand mismatch in poly add");
+    const kernels::KernelTable &k = kernels::active();
     for (size_t j = 0; j < limbs_.size(); ++j) {
-        const u64 q = basis_->prime(j);
-        const auto &rhs = other.limbs_[j];
         auto &lhs = limbs_[j];
-        for (size_t i = 0; i < lhs.size(); ++i)
-            lhs[i] = addMod(lhs[i], rhs[i], q);
+        k.addModV(lhs.data(), lhs.data(), other.limbs_[j].data(),
+                  lhs.size(), basis_->prime(j));
     }
 }
 
@@ -54,22 +54,21 @@ RnsPoly::subInPlace(const RnsPoly &other)
     EFFACT_ASSERT(format_ == other.format_ &&
                       limbs_.size() == other.limbs_.size(),
                   "operand mismatch in poly sub");
+    const kernels::KernelTable &k = kernels::active();
     for (size_t j = 0; j < limbs_.size(); ++j) {
-        const u64 q = basis_->prime(j);
-        const auto &rhs = other.limbs_[j];
         auto &lhs = limbs_[j];
-        for (size_t i = 0; i < lhs.size(); ++i)
-            lhs[i] = subMod(lhs[i], rhs[i], q);
+        k.subModV(lhs.data(), lhs.data(), other.limbs_[j].data(),
+                  lhs.size(), basis_->prime(j));
     }
 }
 
 void
 RnsPoly::negInPlace()
 {
+    const kernels::KernelTable &k = kernels::active();
     for (size_t j = 0; j < limbs_.size(); ++j) {
-        const u64 q = basis_->prime(j);
-        for (auto &c : limbs_[j])
-            c = negMod(c, q);
+        auto &lhs = limbs_[j];
+        k.negModV(lhs.data(), lhs.data(), lhs.size(), basis_->prime(j));
     }
 }
 
@@ -81,12 +80,11 @@ RnsPoly::mulEvalInPlace(const RnsPoly &other)
                   "pointwise mul requires Eval format");
     EFFACT_ASSERT(limbs_.size() == other.limbs_.size(),
                   "operand mismatch in poly mul");
+    const kernels::KernelTable &k = kernels::active();
     for (size_t j = 0; j < limbs_.size(); ++j) {
-        const Barrett &br = basis_->limb(j).barrett;
-        const auto &rhs = other.limbs_[j];
         auto &lhs = limbs_[j];
-        for (size_t i = 0; i < lhs.size(); ++i)
-            lhs[i] = br.mul(lhs[i], rhs[i]);
+        k.mulModV(lhs.data(), lhs.data(), other.limbs_[j].data(),
+                  lhs.size(), basis_->limb(j).barrett);
     }
 }
 
@@ -94,22 +92,22 @@ void
 RnsPoly::mulScalarPerLimb(const std::vector<u64> &scalars)
 {
     EFFACT_ASSERT(scalars.size() == limbs_.size(), "scalar count mismatch");
+    const kernels::KernelTable &k = kernels::active();
     for (size_t j = 0; j < limbs_.size(); ++j) {
-        const Barrett &br = basis_->limb(j).barrett;
-        const u64 s = scalars[j];
-        for (auto &c : limbs_[j])
-            c = br.mul(c, s);
+        auto &lhs = limbs_[j];
+        k.mulConstV(lhs.data(), lhs.data(), lhs.size(), scalars[j],
+                    basis_->limb(j).barrett);
     }
 }
 
 void
 RnsPoly::mulScalarU64(u64 s)
 {
+    const kernels::KernelTable &k = kernels::active();
     for (size_t j = 0; j < limbs_.size(); ++j) {
-        const Barrett &br = basis_->limb(j).barrett;
-        const u64 sj = s % basis_->prime(j);
-        for (auto &c : limbs_[j])
-            c = br.mul(c, sj);
+        auto &lhs = limbs_[j];
+        k.mulConstV(lhs.data(), lhs.data(), lhs.size(),
+                    s % basis_->prime(j), basis_->limb(j).barrett);
     }
 }
 

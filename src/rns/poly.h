@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/simd.h"
 #include "rns/basis.h"
 
 namespace effact {
@@ -23,6 +24,13 @@ enum class PolyFormat { Coeff, Eval };
 class RnsPoly
 {
   public:
+    /**
+     * Limb storage: 64-byte-aligned so the SIMD kernel tiers may issue
+     * aligned vector loads on any limb (and so a cache line never
+     * straddles two limbs' first coefficients).
+     */
+    using LimbVec = AlignedU64Vec;
+
     RnsPoly() = default;
 
     /** Zero polynomial over `basis` in `format`. */
@@ -34,8 +42,8 @@ class RnsPoly
     size_t degree() const { return basis_->degree(); }
     size_t limbCount() const { return limbs_.size(); }
 
-    std::vector<u64> &limb(size_t i) { return limbs_[i]; }
-    const std::vector<u64> &limb(size_t i) const { return limbs_[i]; }
+    LimbVec &limb(size_t i) { return limbs_[i]; }
+    const LimbVec &limb(size_t i) const { return limbs_[i]; }
 
     /** Fills every limb with uniform residues. */
     void sampleUniform(Rng &rng);
@@ -95,7 +103,7 @@ class RnsPoly
   private:
     std::shared_ptr<const RnsBasis> basis_;
     PolyFormat format_ = PolyFormat::Coeff;
-    std::vector<std::vector<u64>> limbs_;
+    std::vector<LimbVec> limbs_;
 };
 
 } // namespace effact

@@ -42,8 +42,11 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/simd.h"
 #include "compiler/pass_manager.h"
+#include "math/primes.h"
 #include "platform/platform.h"
+#include "rns/bconv.h"
 #include "runtime/thread_pool.h"
 #include "sim/machine.h"
 
@@ -588,7 +591,97 @@ checkSimulatorEquivalence(uint64_t seed, size_t target_insts)
     EXPECT_EQ(ev.instructions, ref.instructions) << tag;
 }
 
+// --- SIMD tier differential ------------------------------------------------
+
+/**
+ * Runs a random chain of RnsPoly / BConv operations under a randomly
+ * sampled SIMD tier and replays the identical chain under the scalar
+ * oracle tier; every limb must match exactly (common/simd.h's
+ * exact-value contract, end-to-end rather than per kernel —
+ * test_simd_kernels.cc covers the per-kernel pin).
+ */
+void
+checkSimdTierEquivalence(uint64_t seed, size_t degree)
+{
+    Rng plan_rng(seed * 2 + 1);
+    const std::vector<SimdTier> tiers = [] {
+        std::vector<SimdTier> t;
+        for (int i = 1; i <= static_cast<int>(maxSupportedSimdTier()); ++i)
+            t.push_back(static_cast<SimdTier>(i));
+        return t;
+    }();
+    if (tiers.empty())
+        GTEST_SKIP() << "host has no vector tier; nothing to sample";
+    const SimdTier tier = tiers[plan_rng.uniform(tiers.size())];
+    const size_t limbs = 2 + plan_rng.uniform(3);
+    const unsigned bits = 35 + unsigned(plan_rng.uniform(16)); // 35..50
+    const int steps = 3 + int(plan_rng.uniform(6));
+
+    auto run = [&](SimdTier active) {
+        const SimdTier prev = activeSimdTier();
+        setSimdTier(active);
+        auto from = std::make_shared<RnsBasis>(
+            degree, genNttPrimes(limbs, bits, degree));
+        auto to = std::make_shared<RnsBasis>(
+            degree, genNttPrimes(limbs, bits, degree, from->primes()));
+        BaseConverter bc(from, to);
+        Rng rng(seed);
+        RnsPoly a(from, PolyFormat::Coeff), b(from, PolyFormat::Coeff);
+        a.sampleUniform(rng);
+        b.sampleUniform(rng);
+        Rng op_rng(seed + 17);
+        for (int s = 0; s < steps; ++s) {
+            switch (op_rng.uniform(6)) {
+              case 0: a.addInPlace(b); break;
+              case 1: a.subInPlace(b); break;
+              case 2: a.negInPlace(); break;
+              case 3: a.mulScalarU64(op_rng.next()); break;
+              case 4: {
+                a.toEval();
+                RnsPoly fb = b;
+                fb.toEval();
+                a.mulEvalInPlace(fb);
+                a.toCoeff();
+                break;
+              }
+              default: {
+                RnsPoly fa = a;
+                fa.toEval();
+                fa.toCoeff();
+                a = fa;
+                break;
+              }
+            }
+        }
+        std::vector<std::vector<u64>> out;
+        for (const RnsPoly &p :
+             {bc.convert(a), bc.convertExact(a), bc.convertMontgomery(a, true)})
+            for (size_t j = 0; j < p.limbCount(); ++j)
+                out.emplace_back(p.limb(j).begin(), p.limb(j).end());
+        for (size_t j = 0; j < a.limbCount(); ++j)
+            out.emplace_back(a.limb(j).begin(), a.limb(j).end());
+        setSimdTier(prev);
+        return out;
+    };
+
+    ASSERT_EQ(run(SimdTier::Scalar), run(tier))
+        << "seed " << seed << " tier " << simdTierName(tier) << " limbs "
+        << limbs << " bits " << bits;
+}
+
 // --- Fast suites (~200 seeds each check) ----------------------------------
+
+TEST(FuzzDifferential, SimdTierMatchesScalarOracle)
+{
+    for (uint64_t seed = 0; seed < 40; ++seed)
+        checkSimdTierEquivalence(seed, 128);
+}
+
+TEST(SlowFuzz, SimdTierMatchesScalarOracleLarge)
+{
+    for (uint64_t seed = 400; seed < 480; ++seed)
+        checkSimdTierEquivalence(seed, 1024);
+}
 
 TEST(FuzzDifferential, PipelineMatchesLegacySweepArithmetic)
 {

@@ -75,7 +75,7 @@ TEST_P(NttSizes, ConvolutionMatchesSchoolbook)
 
     if (n <= 512) {
         // Small sizes: full O(N^2) schoolbook, every coefficient.
-        EXPECT_EQ(fa, Ntt::negacyclicMulSchoolbook(a, b, q));
+        EXPECT_EQ(fa, Ntt::negacyclicMulSchoolbook(a.data(), b.data(), n, q));
         return;
     }
     // Large sizes: check a deterministic sample of coefficients against
