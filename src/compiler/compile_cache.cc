@@ -1,9 +1,42 @@
 #include "compiler/compile_cache.h"
 
+#include <cstdlib>
+#include <vector>
+
 #include "common/logging.h"
 #include "compiler/pass_manager.h"
 
 namespace effact {
+
+size_t
+snapshotBytes(const MiddleEndSnapshot &snap)
+{
+    size_t bytes = sizeof(MiddleEndSnapshot);
+    bytes += snap.optimized.insts.size() * sizeof(IrInst);
+    bytes += snap.optimized.name.size();
+    for (const MemObject &obj : snap.optimized.objects)
+        bytes += sizeof(MemObject) + obj.name.size();
+    for (const auto &[key, value] : snap.stats.all()) {
+        (void)value;
+        bytes += sizeof(double) + key.size();
+    }
+    return bytes;
+}
+
+size_t
+defaultCacheBytes()
+{
+    if (const char *env = std::getenv("EFFACT_CACHE_BYTES")) {
+        char *end = nullptr;
+        const unsigned long long v = std::strtoull(env, &end, 10);
+        if (end != env && *end == '\0')
+            return static_cast<size_t>(v);
+        warn("ignoring invalid EFFACT_CACHE_BYTES='%s' (want a byte "
+             "count; 0 = unbounded)",
+             env);
+    }
+    return 0;
+}
 
 uint64_t
 middleEndPresetHash(const CompilerOptions &opts)
@@ -66,22 +99,78 @@ CompileCache::getOrBuild(const CompileCacheKey &key,
     if (builder) {
         // Build outside the shard lock: only same-key requesters wait.
         MiddleEndSnapshot snap = build();
+        const size_t entry_bytes = snapshotBytes(snap);
         {
             std::lock_guard<std::mutex> lock(slot->mu);
             slot->snap = std::move(snap);
+            slot->bytes = entry_bytes;
             slot->ready = true;
         }
         slot->readyCv.notify_all();
+        // Waiters are unblocked before accounting: even if this entry
+        // is evicted right here (budget smaller than the entry), every
+        // requester already holds the slot and clones a valid snapshot.
+        if (budget_ > 0)
+            accountAndEvict(key, slot);
     } else {
         ++hits_;
         ++frontendSkipped_;
-        std::unique_lock<std::mutex> lock(slot->mu);
-        slot->readyCv.wait(lock, [&] { return slot->ready; });
+        {
+            std::unique_lock<std::mutex> lock(slot->mu);
+            slot->readyCv.wait(lock, [&] { return slot->ready; });
+        }
+        if (budget_ > 0)
+            touch(slot);
     }
     if (hit != nullptr)
         *hit = !builder;
     // Aliasing shared_ptr: the snapshot's lifetime is the slot's.
     return {slot, &slot->snap};
+}
+
+void
+CompileCache::accountAndEvict(const CompileCacheKey &key,
+                              const std::shared_ptr<Slot> &slot)
+{
+    // Destroy evicted snapshots outside `lru_mu_` (an IrProgram free is
+    // not cheap enough to hold a hot lock over).
+    std::vector<std::shared_ptr<Slot>> evicted;
+    {
+        std::lock_guard<std::mutex> lock(lru_mu_);
+        lru_.push_front(LruNode{key, slot});
+        slot->lruIt = lru_.begin();
+        slot->inLru = true;
+        bytes_ += slot->bytes;
+        while (bytes_ > budget_ && !lru_.empty()) {
+            LruNode &victim = lru_.back();
+            {
+                // lru_mu_ -> shard.mu is the one permitted nesting.
+                Shard &shard = shardFor(victim.key);
+                std::lock_guard<std::mutex> shard_lock(shard.mu);
+                auto it = shard.entries.find(victim.key);
+                // Only un-index the entry if it is still the current
+                // one for its key (a rebuilt successor must survive).
+                if (it != shard.entries.end() && it->second == victim.slot)
+                    shard.entries.erase(it);
+            }
+            victim.slot->inLru = false;
+            bytes_ -= victim.slot->bytes;
+            ++evictions_;
+            evicted.push_back(std::move(victim.slot));
+            lru_.pop_back();
+        }
+    }
+}
+
+void
+CompileCache::touch(const std::shared_ptr<Slot> &slot)
+{
+    std::lock_guard<std::mutex> lock(lru_mu_);
+    // Not on the list when evicted concurrently, or when this hit beat
+    // the publisher's own accounting; either way there is nothing to
+    // reorder (the publisher inserts at MRU anyway).
+    if (slot->inLru)
+        lru_.splice(lru_.begin(), lru_, slot->lruIt);
 }
 
 StatSet
@@ -95,7 +184,17 @@ CompileCache::statsSnapshot() const
     s.set("cache.misses", lookups - hit_count);
     s.set("cache.frontend_skipped", double(frontendSkipped_.load()));
     s.set("cache.entries", double(entryCount()));
+    s.set("cache.evictions", double(evictions_.load()));
+    s.set("cache.bytes", double(currentBytes()));
+    s.set("cache.budget_bytes", double(budget_));
     return s;
+}
+
+size_t
+CompileCache::currentBytes() const
+{
+    std::lock_guard<std::mutex> lock(lru_mu_);
+    return bytes_;
 }
 
 size_t
@@ -112,6 +211,13 @@ CompileCache::entryCount() const
 void
 CompileCache::clear()
 {
+    {
+        std::lock_guard<std::mutex> lock(lru_mu_);
+        for (LruNode &node : lru_)
+            node.slot->inLru = false;
+        lru_.clear();
+        bytes_ = 0;
+    }
     for (Shard &shard : shards_) {
         std::lock_guard<std::mutex> lock(shard.mu);
         shard.entries.clear();
@@ -119,6 +225,7 @@ CompileCache::clear()
     lookups_ = 0;
     hits_ = 0;
     frontendSkipped_ = 0;
+    evictions_ = 0;
 }
 
 } // namespace effact

@@ -42,6 +42,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
@@ -95,11 +96,43 @@ struct MiddleEndSnapshot
 };
 
 /**
+ * Deterministic size estimate of one published snapshot, used for the
+ * byte-budget accounting below: the instruction and object payloads of
+ * the optimized program plus the recorded stat entries. A function of
+ * the snapshot's *content* only (string sizes, not capacities; no
+ * allocator or layout terms), so two byte-identical snapshots — e.g.
+ * the same key rebuilt after an eviction — always account the same
+ * bytes, at any thread count.
+ */
+size_t snapshotBytes(const MiddleEndSnapshot &snap);
+
+/**
+ * Byte-budget default for daemon-style owners: the `EFFACT_CACHE_BYTES`
+ * environment variable when set to a positive integer (bytes),
+ * otherwise 0 = unbounded. Batch sweeps keep the unbounded default —
+ * one snapshot per (workload, preset) is small next to the jobs
+ * themselves; the budget exists for long-lived services that see
+ * thousands of distinct keys.
+ */
+size_t defaultCacheBytes();
+
+/**
  * The sharded, single-flight snapshot store. Opt-in and shared: one
  * instance serves a whole sweep (`SweepOptions::compileCache`), or any
- * set of concurrent `Compiler::compile` calls. Entries are never
- * evicted — the store lives as long as the sweep that owns it, and one
- * snapshot per (workload, preset) is small next to the jobs themselves.
+ * set of concurrent `Compiler::compile` calls.
+ *
+ * Bounding. With a zero byte budget (the default) entries are never
+ * evicted — the store lives as long as the sweep that owns it. With a
+ * positive budget, published entries are tracked on a global LRU list
+ * with `snapshotBytes` accounting, and publishing a new entry evicts
+ * least-recently-used entries until the total fits the budget (a
+ * single entry larger than the whole budget is evicted immediately
+ * after publication: the store never retains more than the budget).
+ * Eviction only removes the key from the index — waiters and holders
+ * keep the snapshot alive through their `shared_ptr`, and an in-flight
+ * build is not on the LRU list at all until it publishes, so it can
+ * never be evicted out from under the requesters blocked on it. A
+ * re-requested evicted key simply rebuilds (counted as a fresh miss).
  *
  * Statistics (all monotone, reset only by `clear()`):
  * - `cache.lookups`  — compiles that consulted the cache;
@@ -107,20 +140,33 @@ struct MiddleEndSnapshot
  *                      ones that waited on an in-flight build);
  * - `cache.misses`   — lookups that ran the middle end (= entries
  *                      built; single-flight makes this exactly the
- *                      distinct-key count, at any thread count);
+ *                      distinct-key count when nothing is evicted, and
+ *                      counts rebuilds of evicted keys otherwise);
  * - `cache.frontend_skipped` — compiles that skipped the optimization
  *                      pipeline entirely. Equal to `cache.hits` under
  *                      `Compiler::compile`'s wiring, where every hit
  *                      reuses the snapshot; tracked separately so a
  *                      future lookup-only consumer can't skew it;
- * - `cache.entries`  — entries currently stored.
+ * - `cache.evictions` — entries dropped by the byte budget;
+ * - `cache.entries`  — entries currently stored;
+ * - `cache.bytes`    — accounted bytes of the published entries;
+ * - `cache.budget_bytes` — the configured budget (0 = unbounded).
  */
 class CompileCache
 {
   public:
-    CompileCache() = default;
+    /** `byteBudget` = 0 keeps the legacy never-evict behavior. */
+    explicit CompileCache(size_t byteBudget = 0) : budget_(byteBudget) {}
     CompileCache(const CompileCache &) = delete;
     CompileCache &operator=(const CompileCache &) = delete;
+
+    size_t byteBudget() const { return budget_; }
+
+    /** Accounted bytes of the currently published entries. */
+    size_t currentBytes() const;
+
+    /** Entries dropped by the byte budget so far. */
+    uint64_t evictionCount() const { return evictions_.load(); }
 
     /**
      * Returns the snapshot for `key`, building it if absent. The first
@@ -146,12 +192,29 @@ class CompileCache
     void clear();
 
   private:
+    struct Slot;
+
+    /** LRU node: front of the list = most recently used. Holds its own
+     *  reference to the slot so an evicted-but-still-waited-on snapshot
+     *  stays alive until the last holder drops it. */
+    struct LruNode
+    {
+        CompileCacheKey key;
+        std::shared_ptr<Slot> slot;
+    };
+
     struct Slot
     {
         std::mutex mu;
         std::condition_variable readyCv;
         bool ready = false;
         MiddleEndSnapshot snap;
+        /** `snapshotBytes(snap)`, fixed at publication (entries are
+         *  immutable afterwards). */
+        size_t bytes = 0;
+        // LRU bookkeeping, guarded by `lru_mu_` (not this->mu).
+        std::list<LruNode>::iterator lruIt;
+        bool inLru = false;
     };
 
     struct KeyHash
@@ -177,11 +240,31 @@ class CompileCache
         return shards_[KeyHash{}(key) % kShards];
     }
 
+    /** Publishes `slot` on the LRU list and evicts until the budget
+     *  holds. Called with no locks held. */
+    void accountAndEvict(const CompileCacheKey &key,
+                         const std::shared_ptr<Slot> &slot);
+
+    /** Moves a hit entry to the MRU position. No locks held on entry. */
+    void touch(const std::shared_ptr<Slot> &slot);
+
     static constexpr size_t kShards = 16;
     std::array<Shard, kShards> shards_;
     std::atomic<uint64_t> lookups_{0};
     std::atomic<uint64_t> hits_{0};
     std::atomic<uint64_t> frontendSkipped_{0};
+    std::atomic<uint64_t> evictions_{0};
+
+    const size_t budget_; ///< 0 = unbounded
+    /**
+     * Global recency list + byte total, guarded by `lru_mu_`. Lock
+     * ordering: `lru_mu_` may be taken alone or *before* a shard mutex
+     * (the eviction path erases index entries while holding it); no
+     * path takes `lru_mu_` while holding a shard mutex or a slot mutex.
+     */
+    mutable std::mutex lru_mu_;
+    std::list<LruNode> lru_;
+    size_t bytes_ = 0;
 };
 
 } // namespace effact

@@ -127,25 +127,35 @@ SweepEngine::runAll()
         workers_used_ = n_workers;
         // Pool sized for both levels: job tasks outside, region shards
         // inside (nested task groups share the queue and the workers).
+        // An external pool arrives pre-sized by its owner.
         const size_t pool_size = std::max(n_workers, job_threads);
-        ThreadPool pool(pool_size);
-        if (!opts_.pipelineStages) {
+        std::optional<ThreadPool> owned;
+        ThreadPool *pool = opts_.pool;
+        if (pool == nullptr) {
+            owned.emplace(pool_size);
+            pool = &*owned;
+        }
+        if (!opts_.pipelineStages || opts_.pool != nullptr) {
             // Per-worker analysis managers: caching without locking.
             // Workers write disjoint result slots, so the only
-            // synchronization is the pool's queue and the final wait
-            // barrier.
-            std::vector<AnalysisManager> analyses(pool_size);
+            // synchronization is the pool's queue and the group wait
+            // barrier. One extra manager slot for the calling thread:
+            // `Group::wait` helps run queued tasks inline, and inline
+            // tasks on an external thread report index
+            // `threadCount()`.
+            std::vector<AnalysisManager> analyses(pool->threadCount() + 1);
+            ThreadPool::Group group(*pool);
             for (size_t i = 0; i < jobs_.size(); ++i) {
-                pool.submit([this, i, &analyses, &pool,
-                             job_threads](size_t worker) {
+                group.submit([this, i, &analyses, pool,
+                              job_threads](size_t worker) {
                     const ParallelExec exec =
-                        job_threads > 1 ? ParallelExec(&pool, worker)
+                        job_threads > 1 ? ParallelExec(pool, worker)
                                         : ParallelExec();
                     results_[i] = runJob(jobs_[i], i, analyses[worker],
                                          opts_.compileCache, exec);
                 });
             }
-            pool.wait();
+            group.wait();
         } else {
             // Stage-pipelined: each job is four chained tasks. A stage
             // submits its successor on completion, so job A's simulate
@@ -154,7 +164,7 @@ SweepEngine::runAll()
             // keep the pool busy).
             std::vector<StagedJob> staged(jobs_.size());
             for (size_t i = 0; i < jobs_.size(); ++i) {
-                pool.submit([this, i, &staged, &pool,
+                pool->submit([this, i, &staged, pool,
                              job_threads](size_t) {
                     const SweepJob &job = jobs_[i];
                     EFFACT_ASSERT(job.build != nullptr,
@@ -165,14 +175,14 @@ SweepEngine::runAll()
                     st.workload.emplace(job.build());
                     st.irMs = Ms(Clock::now() - t0).count();
 
-                    pool.submit([this, i, &staged, &pool,
+                    pool->submit([this, i, &staged, pool,
                                  job_threads](size_t worker) {
                         const SweepJob &job = jobs_[i];
                         StagedJob &st = staged[i];
                         st.platform.emplace(job.hw, job.copts);
                         st.compiler.emplace(st.platform->makeCompiler());
                         st.analyses.setExec(
-                            job_threads > 1 ? ParallelExec(&pool, worker)
+                            job_threads > 1 ? ParallelExec(pool, worker)
                                             : ParallelExec());
                         const Clock::time_point t0 = Clock::now();
                         st.compiler->compileMiddle(st.workload->program,
@@ -180,19 +190,19 @@ SweepEngine::runAll()
                                                    opts_.compileCache);
                         st.middleMs = Ms(Clock::now() - t0).count();
 
-                        pool.submit([this, i, &staged, &pool,
+                        pool->submit([this, i, &staged, pool,
                                      job_threads](size_t worker) {
                             StagedJob &st = staged[i];
                             st.analyses.setExec(
                                 job_threads > 1
-                                    ? ParallelExec(&pool, worker)
+                                    ? ParallelExec(pool, worker)
                                     : ParallelExec());
                             const Clock::time_point t0 = Clock::now();
                             st.mp = st.compiler->compileBack(
                                 st.workload->program, st.analyses);
                             st.backendMs = Ms(Clock::now() - t0).count();
 
-                            pool.submit([this, i, &staged](size_t) {
+                            pool->submit([this, i, &staged](size_t) {
                                 StagedJob &st = staged[i];
                                 const Clock::time_point t0 = Clock::now();
                                 SimReport rep =
@@ -224,7 +234,7 @@ SweepEngine::runAll()
                     });
                 });
             }
-            pool.wait();
+            pool->wait();
         }
     }
 

@@ -95,9 +95,25 @@ struct SweepOptions
      * end even when the grid is small relative to the worker count.
      * Results (and their order) are identical to the monolithic mode;
      * only host scheduling changes. Ignored on the serial path
-     * (`threads <= 1`), where stages would chain on one thread anyway.
+     * (`threads <= 1`), where stages would chain on one thread anyway,
+     * and with an external `pool` (see below).
      */
     bool pipelineStages = false;
+    /**
+     * Caller-owned worker pool: when set, the parallel path runs its
+     * job tasks as a `ThreadPool::Group` on this pool instead of
+     * constructing a private one — the long-lived-service shape, where
+     * one fixed pool serves every batch and pool construction cost /
+     * thread churn per batch would be wrong. The engine neither sizes
+     * nor shuts the pool down; `threads` still caps this batch's
+     * concurrency appetite but the pool's own width is what actually
+     * bounds parallelism. Results are byte-identical to a private
+     * pool of any size (worker scheduling is never observable).
+     * `pipelineStages` is ignored with an external pool (stage
+     * chaining is wired to private-pool draining); the monolithic
+     * per-job tasks are used instead. Ignored on the serial path.
+     */
+    ThreadPool *pool = nullptr;
 };
 
 /**

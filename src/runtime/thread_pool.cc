@@ -7,7 +7,8 @@
 
 namespace effact {
 
-ThreadPool::ThreadPool(size_t threads)
+ThreadPool::ThreadPool(size_t threads, size_t maxQueued)
+    : max_queued_(maxQueued)
 {
     const size_t n = threads == 0 ? 1 : threads;
     workers_.reserve(n);
@@ -15,13 +16,22 @@ ThreadPool::ThreadPool(size_t threads)
         workers_.emplace_back([this, w] { workerLoop(w); });
 }
 
-ThreadPool::~ThreadPool()
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void
+ThreadPool::shutdown()
 {
     {
         std::unique_lock<std::mutex> lock(mu_);
         stopping_ = true;
+        if (joined_)
+            return;
+        joined_ = true;
     }
     work_ready_.notify_all();
+    // Workers drain the queue before exiting (workerLoop's
+    // drain-before-stop check), so every accepted task has run by the
+    // time the joins return.
     for (std::thread &worker : workers_)
         worker.join();
 }
@@ -36,6 +46,29 @@ ThreadPool::submit(Task task)
         queue_.push_back(Entry{std::move(task), nullptr});
     }
     work_ready_.notify_one();
+}
+
+bool
+ThreadPool::trySubmit(Task task)
+{
+    EFFACT_ASSERT(task != nullptr, "null task submitted to thread pool");
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        if (stopping_)
+            return false;
+        if (max_queued_ > 0 && queue_.size() >= max_queued_)
+            return false;
+        queue_.push_back(Entry{std::move(task), nullptr});
+    }
+    work_ready_.notify_one();
+    return true;
+}
+
+size_t
+ThreadPool::queueDepth() const
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    return queue_.size();
 }
 
 void

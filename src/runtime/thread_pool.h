@@ -41,8 +41,15 @@ class ThreadPool
      *  `threadCount()` for an external thread). */
     using Task = std::function<void(size_t worker)>;
 
-    /** Spawns `threads` workers (at least one). */
-    explicit ThreadPool(size_t threads);
+    /**
+     * Spawns `threads` workers (at least one). `maxQueued` bounds the
+     * *queued* (not yet running) task count seen by `trySubmit`:
+     * 0 = unbounded (the batch default), > 0 = admission control for
+     * service owners. Plain `submit` ignores the bound — internal
+     * fan-out (group sub-tasks, stage chaining) must never be refused,
+     * or a half-submitted job would deadlock its own barrier.
+     */
+    explicit ThreadPool(size_t threads, size_t maxQueued = 0);
 
     /** Drains outstanding tasks, then joins every worker. */
     ~ThreadPool();
@@ -52,8 +59,33 @@ class ThreadPool
 
     size_t threadCount() const { return workers_.size(); }
 
+    /** The `maxQueued` admission bound (0 = unbounded). */
+    size_t maxQueued() const { return max_queued_; }
+
     /** Enqueues one task; runnable immediately by any idle worker. */
     void submit(Task task);
+
+    /**
+     * Bounded-admission enqueue: refuses (returns false, task not
+     * enqueued) when the queue already holds `maxQueued()` tasks
+     * (given a nonzero bound) or the pool is shutting down; otherwise
+     * behaves exactly like `submit` and returns true. An accepted task
+     * always runs, exactly once — `shutdown()` drains before joining.
+     */
+    bool trySubmit(Task task);
+
+    /** Tasks currently queued (excluding running ones): the admission
+     *  pressure `trySubmit` checks. A point-in-time reading. */
+    size_t queueDepth() const;
+
+    /**
+     * Stops accepting new work, drains every already-accepted task,
+     * and joins the workers. Idempotent; the destructor calls it.
+     * After shutdown, `trySubmit` returns false (and `submit`
+     * asserts). Safe to race with concurrent `trySubmit` calls: each
+     * task is either refused or runs exactly once.
+     */
+    void shutdown();
 
     /** Blocks until every submitted task has finished executing
      *  (including tasks submitted through groups). Intended for the
@@ -114,12 +146,14 @@ class ThreadPool
 
     std::vector<std::thread> workers_;
     std::deque<Entry> queue_;
-    std::mutex mu_;
+    mutable std::mutex mu_;
     std::condition_variable work_ready_;
     std::condition_variable all_done_;
     std::condition_variable group_done_;
     size_t running_ = 0; ///< tasks currently executing
+    size_t max_queued_ = 0; ///< `trySubmit` admission bound (0 = none)
     bool stopping_ = false;
+    bool joined_ = false; ///< workers joined (shutdown ran to the end)
 };
 
 /**

@@ -1,0 +1,93 @@
+#include "service/request_log.h"
+
+#include <cerrno>
+#include <cstring>
+
+namespace effact {
+
+RequestLogWriter::~RequestLogWriter() { close(); }
+
+bool
+RequestLogWriter::open(const std::string &path, std::string *error)
+{
+    close();
+    file_ = std::fopen(path.c_str(), "wb");
+    if (file_ == nullptr) {
+        if (error != nullptr)
+            *error = "cannot open '" + path + "': " + std::strerror(errno);
+        return false;
+    }
+    return true;
+}
+
+bool
+RequestLogWriter::append(const std::vector<uint8_t> &frame_bytes)
+{
+    if (file_ == nullptr)
+        return false;
+    const size_t written =
+        std::fwrite(frame_bytes.data(), 1, frame_bytes.size(), file_);
+    // Flush per frame: a recorded log should be replayable up to the
+    // last completed request even if the daemon dies mid-session.
+    std::fflush(file_);
+    return written == frame_bytes.size();
+}
+
+bool
+RequestLogWriter::append(FrameType type, const std::vector<uint8_t> &payload)
+{
+    return append(encodeFrame(type, payload));
+}
+
+void
+RequestLogWriter::close()
+{
+    if (file_ != nullptr) {
+        std::fclose(file_);
+        file_ = nullptr;
+    }
+}
+
+bool
+decodeFrameStream(const std::vector<uint8_t> &bytes,
+                  std::vector<Frame> *frames, std::string *error)
+{
+    size_t pos = 0;
+    while (pos < bytes.size()) {
+        Frame frame;
+        size_t consumed = 0;
+        const FrameDecodeStatus status = decodeFrame(
+            bytes.data() + pos, bytes.size() - pos, &frame, &consumed);
+        if (status != FrameDecodeStatus::Ok) {
+            if (error != nullptr)
+                *error = std::string("frame decode failed at offset ") +
+                         std::to_string(pos) + ": " +
+                         frameDecodeStatusName(status);
+            return false;
+        }
+        frames->push_back(std::move(frame));
+        pos += consumed;
+    }
+    return true;
+}
+
+bool
+loadRequestLog(const std::string &path, std::vector<Frame> *frames,
+               std::string *error)
+{
+    std::FILE *file = std::fopen(path.c_str(), "rb");
+    if (file == nullptr) {
+        if (error != nullptr)
+            *error = "cannot open '" + path + "': " + std::strerror(errno);
+        return false;
+    }
+    std::vector<uint8_t> bytes;
+    uint8_t chunk[4096];
+    size_t got = 0;
+    while ((got = std::fread(chunk, 1, sizeof(chunk), file)) > 0)
+        bytes.insert(bytes.end(), chunk, chunk + got);
+    std::fclose(file);
+    return decodeFrameStream(bytes, frames, error);
+}
+
+} // namespace effact

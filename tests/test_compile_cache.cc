@@ -9,8 +9,11 @@
  */
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "compiler/compile_cache.h"
@@ -338,6 +341,262 @@ TEST(CompileCache, SingleFlightBuildCountsAreExactAtAnyThreadCount)
         // The engine mirrors the totals into its aggregates.
         EXPECT_EQ(engine.aggregates().get("cache.misses"), 4.0);
         EXPECT_EQ(engine.aggregates().get("compile.cache.hit.sum"), 8.0);
+    }
+}
+
+// --- Bounded LRU ----------------------------------------------------------
+
+/** Synthetic entries of identical accounted size (same name length,
+ *  same inst/stat counts) but distinguishable content, so byte-budget
+ *  arithmetic in the tests is exact: budget = K * entry bytes holds
+ *  exactly K entries. */
+CompileCacheKey
+synthKey(uint64_t i)
+{
+    return {i + 1, 0x5eed};
+}
+
+MiddleEndSnapshot
+synthSnapshot(uint64_t i)
+{
+    MiddleEndSnapshot snap;
+    snap.optimized.name = "synthetic-lru-entry";
+    snap.optimized.insts.resize(4);
+    snap.optimized.insts[0].imm = i;
+    snap.stats.set("synthetic.id", double(i));
+    return snap;
+}
+
+TEST(BoundedLru, SnapshotBytesAreContentDeterministic)
+{
+    const size_t entry = snapshotBytes(synthSnapshot(0));
+    ASSERT_GT(entry, 0u);
+    // Same content (even rebuilt) accounts the same bytes; the id field
+    // changes the content, not the size.
+    EXPECT_EQ(snapshotBytes(synthSnapshot(0)), entry);
+    EXPECT_EQ(snapshotBytes(synthSnapshot(7)), entry);
+    // More payload means more bytes.
+    MiddleEndSnapshot bigger = synthSnapshot(0);
+    bigger.optimized.insts.resize(8);
+    EXPECT_GT(snapshotBytes(bigger), entry);
+}
+
+TEST(BoundedLru, ZeroBudgetNeverEvicts)
+{
+    CompileCache cache; // legacy default: unbounded
+    EXPECT_EQ(cache.byteBudget(), 0u);
+    for (uint64_t i = 0; i < 32; ++i)
+        cache.getOrBuild(synthKey(i), [i] { return synthSnapshot(i); });
+    EXPECT_EQ(cache.entryCount(), 32u);
+    EXPECT_EQ(cache.evictionCount(), 0u);
+}
+
+TEST(BoundedLru, EvictsLeastRecentlyUsedFirst)
+{
+    const size_t entry = snapshotBytes(synthSnapshot(0));
+    CompileCache cache(3 * entry);
+    for (uint64_t i = 0; i < 3; ++i)
+        cache.getOrBuild(synthKey(i), [i] { return synthSnapshot(i); });
+    ASSERT_EQ(cache.entryCount(), 3u);
+    EXPECT_EQ(cache.evictionCount(), 0u);
+
+    // Touch key 0 (a hit is a recency event), then publish a fourth
+    // entry: the untouched key 1 is now least recently used and must be
+    // the one evicted — not the oldest-inserted key 0.
+    bool hit = false;
+    cache.getOrBuild(synthKey(0), [] { return synthSnapshot(0); }, &hit);
+    EXPECT_TRUE(hit);
+    cache.getOrBuild(synthKey(3), [] { return synthSnapshot(3); });
+    EXPECT_EQ(cache.evictionCount(), 1u);
+    EXPECT_EQ(cache.entryCount(), 3u);
+
+    int builds = 0;
+    auto probe = [&](uint64_t i) {
+        bool h = false;
+        cache.getOrBuild(
+            synthKey(i),
+            [&builds, i] {
+                ++builds;
+                return synthSnapshot(i);
+            },
+            &h);
+        return h;
+    };
+    EXPECT_TRUE(probe(0)) << "the touched key must survive";
+    EXPECT_TRUE(probe(3));
+    EXPECT_TRUE(probe(2));
+    EXPECT_EQ(builds, 0);
+    EXPECT_FALSE(probe(1)) << "the LRU victim must be the untouched key";
+    EXPECT_EQ(builds, 1);
+}
+
+TEST(BoundedLru, BytesAccountingMatchesPayloads)
+{
+    const size_t entry = snapshotBytes(synthSnapshot(0));
+    CompileCache cache(2 * entry);
+    EXPECT_EQ(cache.currentBytes(), 0u);
+
+    cache.getOrBuild(synthKey(0), [] { return synthSnapshot(0); });
+    EXPECT_EQ(cache.currentBytes(), entry);
+    cache.getOrBuild(synthKey(1), [] { return synthSnapshot(1); });
+    EXPECT_EQ(cache.currentBytes(), 2 * entry);
+    cache.getOrBuild(synthKey(2), [] { return synthSnapshot(2); });
+    EXPECT_EQ(cache.currentBytes(), 2 * entry)
+        << "the third publish must evict exactly one entry's bytes";
+    EXPECT_EQ(cache.evictionCount(), 1u);
+
+    const StatSet cs = cache.statsSnapshot();
+    EXPECT_EQ(cs.get("cache.bytes"), double(2 * entry));
+    EXPECT_EQ(cs.get("cache.budget_bytes"), double(2 * entry));
+    EXPECT_EQ(cs.get("cache.evictions"), 1.0);
+    EXPECT_EQ(cs.get("cache.entries"), 2.0);
+
+    cache.clear();
+    EXPECT_EQ(cache.currentBytes(), 0u);
+    EXPECT_EQ(cache.evictionCount(), 0u);
+}
+
+TEST(BoundedLru, EntryLargerThanBudgetIsServedThenDropped)
+{
+    const size_t entry = snapshotBytes(synthSnapshot(0));
+    CompileCache cache(entry / 2);
+    bool hit = true;
+    const auto snap = cache.getOrBuild(
+        synthKey(0), [] { return synthSnapshot(0); }, &hit);
+    EXPECT_FALSE(hit);
+    ASSERT_NE(snap, nullptr);
+    // The requester's snapshot is intact even though the store already
+    // dropped the entry (it can never retain more than the budget).
+    EXPECT_EQ(snap->stats.get("synthetic.id"), 0.0);
+    EXPECT_EQ(snap->optimized.name, "synthetic-lru-entry");
+    EXPECT_EQ(cache.entryCount(), 0u);
+    EXPECT_EQ(cache.currentBytes(), 0u);
+    EXPECT_EQ(cache.evictionCount(), 1u);
+}
+
+TEST(BoundedLru, EvictedKeyRebuildsExactlyOnceUnderContention)
+{
+    const size_t entry = snapshotBytes(synthSnapshot(0));
+    CompileCache cache(entry); // holds exactly one entry
+    cache.getOrBuild(synthKey(7), [] { return synthSnapshot(7); });
+    cache.getOrBuild(synthKey(8), [] { return synthSnapshot(8); });
+    ASSERT_EQ(cache.evictionCount(), 1u); // key 7 is gone
+
+    // Eight threads re-request the evicted key concurrently: a fresh
+    // single-flight build, so exactly one rebuild — and every requester
+    // gets a valid clone of it.
+    std::atomic<int> rebuilds{0};
+    std::vector<std::thread> threads;
+    std::vector<std::shared_ptr<const MiddleEndSnapshot>> got(8);
+    for (size_t t = 0; t < got.size(); ++t)
+        threads.emplace_back([&, t] {
+            got[t] = cache.getOrBuild(synthKey(7), [&rebuilds] {
+                ++rebuilds;
+                std::this_thread::sleep_for(std::chrono::milliseconds(5));
+                return synthSnapshot(7);
+            });
+        });
+    for (std::thread &th : threads)
+        th.join();
+    EXPECT_EQ(rebuilds.load(), 1);
+    for (const auto &snap : got) {
+        ASSERT_NE(snap, nullptr);
+        EXPECT_EQ(snap->stats.get("synthetic.id"), 7.0);
+    }
+}
+
+TEST(BoundedLru, WaitersSurviveImmediateEviction)
+{
+    // Budget below one entry: every publish evicts its own entry right
+    // after the waiters are released. The waiters' shared_ptr keeps the
+    // snapshot alive; nobody observes a dangling or empty result.
+    const size_t entry = snapshotBytes(synthSnapshot(0));
+    CompileCache cache(entry / 2);
+    std::atomic<int> builds{0};
+    std::vector<std::thread> threads;
+    std::vector<std::shared_ptr<const MiddleEndSnapshot>> got(8);
+    for (size_t t = 0; t < got.size(); ++t)
+        threads.emplace_back([&, t] {
+            got[t] = cache.getOrBuild(synthKey(1), [&builds] {
+                ++builds;
+                std::this_thread::sleep_for(std::chrono::milliseconds(10));
+                return synthSnapshot(1);
+            });
+        });
+    for (std::thread &th : threads)
+        th.join();
+    // Requesters that arrive after an eviction rebuild (a fresh miss),
+    // so the build count is 1..8 depending on timing — but every
+    // requester must hold valid content, and the store must end empty.
+    EXPECT_GE(builds.load(), 1);
+    EXPECT_LE(builds.load(), 8);
+    for (const auto &snap : got) {
+        ASSERT_NE(snap, nullptr);
+        EXPECT_EQ(snap->stats.get("synthetic.id"), 1.0);
+    }
+    EXPECT_EQ(cache.entryCount(), 0u);
+    EXPECT_EQ(cache.currentBytes(), 0u);
+    EXPECT_EQ(cache.evictionCount(), uint64_t(builds.load()));
+}
+
+TEST(BoundedLru, EvictionStatsDeterministicAcrossThreadCounts)
+{
+    // 12 distinct keys, each requested exactly once, budget = 4 entries:
+    // published = 12, kept = 4, so evictions = 8 and bytes = 4 * entry
+    // no matter how the publishes interleave.
+    const size_t entry = snapshotBytes(synthSnapshot(0));
+    constexpr uint64_t kKeys = 12;
+    constexpr size_t kKeep = 4;
+    for (size_t threads : {size_t(1), size_t(2), size_t(8)}) {
+        CompileCache cache(kKeep * entry);
+        {
+            ThreadPool pool(threads);
+            for (uint64_t i = 0; i < kKeys; ++i)
+                pool.submit([&cache, i](size_t) {
+                    cache.getOrBuild(synthKey(i),
+                                     [i] { return synthSnapshot(i); });
+                });
+            pool.wait();
+        }
+        const StatSet cs = cache.statsSnapshot();
+        EXPECT_EQ(cs.get("cache.evictions"), double(kKeys - kKeep))
+            << threads;
+        EXPECT_EQ(cs.get("cache.bytes"), double(kKeep * entry)) << threads;
+        EXPECT_EQ(cs.get("cache.entries"), double(kKeep)) << threads;
+        EXPECT_EQ(cs.get("cache.misses"), double(kKeys)) << threads;
+        EXPECT_EQ(cs.get("cache.hits"), 0.0) << threads;
+    }
+}
+
+TEST(BoundedLru, SweepWithTinyBudgetMatchesUncachedSerial)
+{
+    // Eviction pressure must never change compile results: a budget far
+    // below one real snapshot forces a rebuild for effectively every
+    // job, and the sweep still matches the uncached serial oracle.
+    SweepEngine uncached({1});
+    for (SweepJob &job : presetSramGrid())
+        uncached.submit(std::move(job));
+    const std::vector<SweepResult> &plain = uncached.runAll();
+
+    CompileCache cache(size_t(4) << 10);
+    SweepEngine engine({4, &cache});
+    for (SweepJob &job : presetSramGrid())
+        engine.submit(std::move(job));
+    const std::vector<SweepResult> &bounded = engine.runAll();
+
+    EXPECT_GE(cache.evictionCount(), 1u)
+        << "the tiny budget must actually evict";
+    ASSERT_EQ(bounded.size(), plain.size());
+    for (size_t i = 0; i < plain.size(); ++i) {
+        EXPECT_EQ(bounded[i].platform.machineFingerprint,
+                  plain[i].platform.machineFingerprint)
+            << plain[i].name;
+        EXPECT_DOUBLE_EQ(bounded[i].platform.sim.cycles,
+                         plain[i].platform.sim.cycles)
+            << plain[i].name;
+        EXPECT_EQ(comparableStats(bounded[i].platform.compilerStats),
+                  comparableStats(plain[i].platform.compilerStats))
+            << plain[i].name;
     }
 }
 
