@@ -1,11 +1,13 @@
 /**
  * @file
- * CI perf lane: the two headline measurements — simulator throughput on
+ * CI perf lane: three headline measurements — simulator throughput on
  * the paper-scale bootstrapping trace (`bench_sim_speed`'s event-driven
- * core) and the `bench_fig11_ablation` 12-job preset x SRAM grid on the
- * `SweepEngine` with a shared `CompileCache` — emitted as one
- * machine-readable `BENCH_sweep.json` (cycles, wall-clock ms, cache hit
- * stats, thread count, per-job fingerprints).
+ * core), the `bench_fig11_ablation` 15-job preset x SRAM grid on the
+ * `SweepEngine` with a shared `CompileCache`, and the per-optimization
+ * win matrix (each PR 10 optimization isolated against the full
+ * preset) — emitted as one machine-readable `BENCH_sweep.json`
+ * (cycles, wall-clock ms, cache hit stats, thread count, per-job
+ * fingerprints).
  *
  * CI uploads the file as an artifact on every push (the perf
  * trajectory) and gates on `bench/check_regression.py` against the
@@ -18,6 +20,7 @@
  */
 #include <chrono>
 #include <cinttypes>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -99,6 +102,7 @@ runFig11Grid()
         {"MAD-enhanced", Platform::madEnhancedOptions, false},
         {"streaming", Platform::streamingOptions, false},
         {"full", Platform::fullOptions, true},
+        {"optimized", Platform::optimizedOptions, true},
     };
     const std::vector<size_t> sram_points = {
         size_t(27) << 20, size_t(13) << 20, size_t(54) << 20};
@@ -132,7 +136,131 @@ runFig11Grid()
                       double(steps.size()),
                   "expected %zu middle-end runs, saw %.0f", steps.size(),
                   grid.cacheStats.get("cache.misses"));
+    // The combined optimized preset never loses to the full preset at
+    // any SRAM point (jobs are submitted preset-major per SRAM point,
+    // so full/optimized are adjacent).
+    for (size_t i = 0; i + 1 < grid.results.size(); i += steps.size()) {
+        const SweepResult &full = grid.results[i + steps.size() - 2];
+        const SweepResult &opt = grid.results[i + steps.size() - 1];
+        EFFACT_ASSERT(opt.platform.sim.cycles <= full.platform.sim.cycles,
+                      "optimized preset regressed at %s: %.0f > %.0f",
+                      opt.name.c_str(), opt.platform.sim.cycles,
+                      full.platform.sim.cycles);
+    }
     return grid;
+}
+
+// --- Per-optimization cycle wins ------------------------------------------
+
+/** One (workload, variant, SRAM) measurement of the opt-wins matrix. */
+struct WinRow
+{
+    std::string workload;
+    std::string opt;
+    size_t sramMb = 0;
+    double cycles = 0;
+    uint64_t fingerprint = 0;
+};
+
+/**
+ * Isolates each PR 10 optimization against the full Fig. 11 preset:
+ * `rotalg` (algebraic rotation rewrites), `regalloc` (priority spill
+ * scoring), `scheduler` (latency-weighted list scheduling), and the
+ * three combined (`optimized`), on the paper-scale bootstrapping trace
+ * and the hoisted rotation batch, at a spill-heavy and a comfortable
+ * SRAM point. Cycles and fingerprints are deterministic and gated
+ * exactly against the baseline (`opt_wins.results`).
+ */
+std::vector<WinRow>
+measureOptimizationWins()
+{
+    HardwareConfig hw = HardwareConfig::asicEffact27();
+    hw.hbmBytesPerSec = 1.0e12;
+    hw.nttMacReuse = true; // the full-preset hardware point
+
+    struct Variant
+    {
+        const char *name;
+        void (*tweak)(CompilerOptions &);
+    };
+    const std::vector<Variant> variants = {
+        {"full", [](CompilerOptions &) {}},
+        {"rotalg",
+         [](CompilerOptions &o) {
+             o.pipeline = "copyprop,constprop,rotalg,pre,peephole";
+         }},
+        {"regalloc", [](CompilerOptions &o) { o.regalloc = "priority"; }},
+        {"scheduler",
+         [](CompilerOptions &o) { o.scheduler = "latency"; }},
+        {"optimized",
+         [](CompilerOptions &o) {
+             o.pipeline = "copyprop,constprop,rotalg,pre,peephole";
+             o.regalloc = "priority";
+             o.scheduler = "latency";
+         }},
+    };
+    const std::vector<std::pair<const char *, std::function<Workload()>>>
+        workloads = {
+            {"bootstrap", [] { return buildBootstrapping(paperFhe()); }},
+            {"rotbatch",
+             [] { return buildRotationBatch(paperFhe(), 8, 12); }},
+        };
+    const std::vector<size_t> sram_points = {size_t(13) << 20,
+                                             size_t(27) << 20};
+
+    CompileCache cache;
+    SweepEngine engine({defaultThreadCount(), &cache, /*verifyLevel=*/0});
+    for (const auto &[wname, build] : workloads) {
+        for (size_t sram : sram_points) {
+            for (const Variant &v : variants) {
+                HardwareConfig cfg = hw;
+                cfg.sramBytes = sram;
+                CompilerOptions opts = Platform::fullOptions(sram);
+                v.tweak(opts);
+                engine.submit(std::string(wname) + "/" + v.name +
+                                  "/sram" + std::to_string(sram >> 20),
+                              build, cfg, opts);
+            }
+        }
+    }
+    const std::vector<SweepResult> &results = engine.runAll();
+
+    std::vector<WinRow> rows;
+    size_t idx = 0;
+    for (const auto &[wname, build] : workloads) {
+        (void)build;
+        for (size_t sram : sram_points) {
+            for (const Variant &v : variants) {
+                const SweepResult &r = results[idx++];
+                rows.push_back({wname, v.name, sram >> 20,
+                                r.platform.sim.cycles,
+                                r.platform.machineFingerprint});
+            }
+        }
+    }
+
+    // The measured-win gate: each optimization, isolated, strictly
+    // improves at least one (workload, SRAM) point. Rows are blocks of
+    // `stride` with the full-preset anchor first.
+    const size_t stride = variants.size();
+    for (size_t v = 1; v < stride; ++v) {
+        bool wins = false;
+        for (size_t base = 0; base + v < rows.size(); base += stride) {
+            const double delta =
+                rows[base].cycles - rows[base + v].cycles;
+            std::fprintf(stderr,
+                         "[wins] %s/%s/sram%zu: %.0f cycles (%+.2f%% vs "
+                         "full)\n",
+                         rows[base + v].workload.c_str(),
+                         rows[base + v].opt.c_str(),
+                         rows[base + v].sramMb, rows[base + v].cycles,
+                         -100.0 * delta / rows[base].cycles);
+            wins |= delta > 0;
+        }
+        EFFACT_ASSERT(wins, "%s never beats the full preset",
+                      variants[v].name);
+    }
+    return rows;
 }
 
 int
@@ -149,6 +277,7 @@ emit(const char *path)
 
     const SimSpeedResult speed = measureSimSpeed();
     const GridResult grid = runFig11Grid();
+    const std::vector<WinRow> wins = measureOptimizationWins();
 
     std::FILE *f = std::fopen(path, "w");
     if (f == nullptr) {
@@ -192,6 +321,21 @@ emit(const char *path)
                      r.platform.sim.cycles, r.platform.benchTimeMs,
                      r.platform.dramGb, r.platform.machineFingerprint,
                      i + 1 < grid.results.size() ? "," : "");
+    }
+    std::fprintf(f, "    ]\n");
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"opt_wins\": {\n");
+    std::fprintf(f, "    \"jobs\": %zu,\n", wins.size());
+    std::fprintf(f, "    \"results\": [\n");
+    for (size_t i = 0; i < wins.size(); ++i) {
+        const WinRow &r = wins[i];
+        std::fprintf(f,
+                     "      {\"workload\": \"%s\", \"opt\": \"%s\", "
+                     "\"sram_mb\": %zu, \"cycles\": %.0f, "
+                     "\"fingerprint\": \"0x%016" PRIx64 "\"}%s\n",
+                     r.workload.c_str(), r.opt.c_str(), r.sramMb,
+                     r.cycles, r.fingerprint,
+                     i + 1 < wins.size() ? "," : "");
     }
     std::fprintf(f, "    ]\n");
     std::fprintf(f, "  }\n");

@@ -6,7 +6,8 @@ and baseline must agree):
 
 - effact-bench-sweep-v1 (bench_perf_lane -> BENCH_sweep.json vs
   bench/baseline.json): simulator throughput + the fig11 preset x SRAM
-  grid, including per-job cycles/fingerprint matching.
+  grid + the per-optimization win matrix (opt_wins), including per-job
+  cycles/fingerprint matching.
 
 - effact-bench-latency-v1 (bench_compile_latency ->
   BENCH_compile_latency.json vs bench/baseline_latency.json): the
@@ -72,6 +73,7 @@ SCHEMAS = {
             "fig11_grid.cache.lookups",
             "fig11_grid.cache.middle_end_runs",
             "fig11_grid.cache.frontend_skipped",
+            "opt_wins.jobs",
         ],
         "wall": [
             "sim_speed.sim_wall_ms",
@@ -79,6 +81,7 @@ SCHEMAS = {
             "fig11_grid.wall_ms",
         ],
         "grid": True,
+        "wins": True,
     },
     # The latency bench itself aborts if any jobThreads setting moves a
     # bit, so the exact keys here re-check the *cross-run* invariant:
@@ -204,6 +207,37 @@ def main():
             print(
                 f"ok   {len(cur_jobs)} grid jobs: cycles + fingerprints "
                 "match"
+            )
+
+    if schema.get("wins"):
+        # Per-optimization win rows, matched by (workload, opt, sram_mb).
+        # The binary already asserts each optimization strictly improves
+        # somewhere; this re-checks the measured numbers are the ones the
+        # baseline commit recorded.
+        def win_map(tree):
+            rows = {}
+            for row in get(tree, "opt_wins.results"):
+                rows[(row["workload"], row["opt"], row["sram_mb"])] = row
+            return rows
+
+        cur_rows, base_rows = win_map(current), win_map(baseline)
+        if set(cur_rows) != set(base_rows):
+            status |= fail(
+                f"opt_wins shape changed: "
+                f"{sorted(set(cur_rows) ^ set(base_rows))}"
+            )
+        for key in sorted(set(cur_rows) & set(base_rows)):
+            cur, base = cur_rows[key], base_rows[key]
+            for field in ("cycles", "fingerprint"):
+                if cur.get(field) != base.get(field):
+                    status |= fail(
+                        f"{key[0]}/{key[1]}/sram{key[2]}.{field}: "
+                        f"{cur.get(field)} != baseline {base.get(field)}"
+                    )
+        if not status:
+            print(
+                f"ok   {len(cur_rows)} opt-win rows: cycles + "
+                "fingerprints match"
             )
 
     for key in schema["wall"]:

@@ -67,6 +67,16 @@ middleEndPresetHash(const CompilerOptions &opts)
     mix(opts.schedule ? 1 : 0);
     mix(opts.streaming ? 1 : 0);
     mix(opts.fifoDepth);
+    // Back-end policy strings: like schedule/streaming these never
+    // change the middle end's output, but they are part of the preset
+    // identity, so sweeps varying them keep distinct stats expectations.
+    auto mixStr = [&](const std::string &s) {
+        mix(s.size());
+        for (char c : s)
+            mixByte(static_cast<unsigned char>(c));
+    };
+    mixStr(opts.scheduler);
+    mixStr(opts.regalloc);
     return h;
 }
 

@@ -141,7 +141,7 @@ MachineProgram
 Compiler::runBackEnd(const IrProgram &prog, AnalysisManager &analyses,
                      StatSet &stats) const
 {
-    auto order = runScheduler(prog, analyses, opts_.schedule, stats);
+    auto order = runScheduler(prog, analyses, opts_, stats);
     auto streaming = runStreaming(prog, order, opts_.streaming,
                                   opts_.fifoDepth, stats);
     MachineProgram mp = runRegAllocAndCodegen(prog, order, streaming,

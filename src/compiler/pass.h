@@ -42,6 +42,38 @@ struct CompilerOptions
     size_t pipelineMaxIterations = 64;
     bool schedule = true;  ///< global list scheduling (off = program order)
     bool streaming = true; ///< streaming memory access (Sec. IV-C)
+    /**
+     * Back-end scheduler priority function, applied when `schedule` is
+     * on: `"critical"` is the legacy static-weight critical path
+     * (NTT 16 / mem 8 / MAC 1.5 / else 1), `"latency"` derives each
+     * instruction's weight from the simulator's own occupancy model
+     * (lane-normalized NTT butterfly count, HBM bytes/cycle, startup
+     * overhead — see `ResourceModel`), so the longest path is measured
+     * in modeled cycles rather than abstract units. Part of the
+     * middle-end preset hash? No — scheduling is back-end (hardware-
+     * dependent), but the string *is* mixed into `middleEndPresetHash`
+     * so sweeps that vary it never share middle-end snapshots with
+     * mismatched stats expectations.
+     */
+    std::string scheduler = "critical";
+    /**
+     * Spill-victim policy for the SRAM register allocator: `"linear"`
+     * is the legacy furthest-interval-end heuristic, `"priority"`
+     * scores candidates against the spill-dominated cycle model —
+     * evict the value minimizing (reloads still due) / (distance to
+     * next use), i.e. the fewest reload instructions re-materialized
+     * per cycle of breathing room bought. The legacy allocator is kept
+     * as the differential oracle.
+     */
+    std::string regalloc = "linear";
+    /** Vector lanes of the target (drives the latency scheduler's
+     *  occupancy weights); `Platform` overwrites it from
+     *  `HardwareConfig::lanes`. */
+    size_t lanes = 1024;
+    /** HBM bandwidth in bytes per clock at the target frequency;
+     *  `Platform` overwrites it from
+     *  `HardwareConfig::hbmBytesPerCycle()`. */
+    double hbmBytesPerCycle = 2400.0;
     size_t sramBytes = size_t(27) << 20; ///< on-chip SRAM capacity
     size_t fifoDepth = 96; ///< FU-to-FU forwarding window (instructions)
     /** Target machine's OoO scoreboard depth (the span over which the
@@ -96,6 +128,20 @@ size_t runPeephole(IrProgram &prog, StatSet &stats,
                    const ParallelExec &exec = ParallelExec());
 
 /**
+ * Rotation-chain algebraic rewrite (spec key `"rotalg"`): composes
+ * chains of automorphisms into a single rotation from the chain root
+ * (sigma_a . sigma_b = sigma_{a*b mod 2N}), folds identity rotations
+ * (element = 1 mod 2N) into copies, canonicalizes Galois elements into
+ * [1, 2N), and retires rotation instructions left without uses.
+ * Composition both shortens serial sigma-chains (each hoisted rotation
+ * depends only on the chain root, exposing parallelism on the scarce
+ * AUTO unit) and canonicalizes equal net rotations onto one Galois
+ * element so PRE can deduplicate them.
+ */
+size_t runRotAlg(IrProgram &prog, StatSet &stats,
+                 const ParallelExec &exec = ParallelExec());
+
+/**
  * Alias analysis (Sec. IV-B2): orders memory operations that may touch
  * the same HBM location. Returns extra dependence edges (from, to).
  */
@@ -106,11 +152,16 @@ class AnalysisManager; // pass_manager.h
 
 /**
  * Global list scheduling on the SSA + memory dependence graph using
- * critical-path priorities. Consumes the cached `DepGraph` analysis
- * (built on demand when `enabled`). Returns the instruction order.
+ * critical-path priorities (longest path to a sink). Consumes the
+ * cached `DepGraph` analysis (built on demand when `opts.schedule`).
+ * `opts.scheduler` selects the per-instruction latency model behind
+ * the priorities ("critical" = legacy static weights, "latency" =
+ * `ResourceModel` occupancy weights from `opts.lanes` /
+ * `opts.hbmBytesPerCycle`). Returns the instruction order.
  */
 std::vector<int> runScheduler(const IrProgram &prog,
-                              AnalysisManager &analyses, bool enabled,
+                              AnalysisManager &analyses,
+                              const CompilerOptions &opts,
                               StatSet &stats);
 
 /** Streaming decision per value (Sec. IV-B3). */

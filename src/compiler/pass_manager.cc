@@ -154,14 +154,16 @@ createPass(const std::string &name)
         return std::make_unique<FnPass>("pre", &runPre);
     if (name == "peephole")
         return std::make_unique<FnPass>("peephole", &runPeephole);
+    if (name == "rotalg")
+        return std::make_unique<FnPass>("rotalg", &runRotAlg);
     return nullptr;
 }
 
 const std::vector<std::string> &
 knownPassNames()
 {
-    static const std::vector<std::string> names = {"copyprop", "constprop",
-                                                   "pre", "peephole"};
+    static const std::vector<std::string> names = {
+        "copyprop", "constprop", "pre", "peephole", "rotalg"};
     return names;
 }
 

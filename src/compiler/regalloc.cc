@@ -316,6 +316,45 @@ runRegAllocAndCodegen(const IrProgram &prog, const std::vector<int> &order,
     std::vector<uint8_t> spilled(n, 0);  // spilled to HBM
     size_t spill_count = 0;
 
+    // Priority policy (`CompilerOptions::regalloc == "priority"`):
+    // sorted use-position lists per value, so a spill decision can score
+    // every candidate against the spill-dominated cycle model. A
+    // spilled value never regains a register — emission reloads it at
+    // EVERY remaining use and writes its slot once at the def — so the
+    // cost of evicting v at position s is its remaining-use count r
+    // plus a fixed kStoreCost charge for the spill store; the benefit
+    // is how long the freed register stays free: the distance to v's
+    // interval END. Evict the candidate minimizing cost per cycle of
+    // occupancy freed, (r + kStoreCost)/(end - s). The end-distance
+    // denominator keeps the legacy scan's strength (parking the
+    // longest-lived interval defers the next pressure event, which is
+    // what decides cycles when spills are rare, e.g. bootstrapping at
+    // 54 MB SRAM), while the reload numerator keeps many-use values
+    // resident even when their interval end is far away — the case
+    // the legacy furthest-END heuristic gets wrong and what buys the
+    // double-digit win at 13 MB. Scoring breathing room by NEXT USE
+    // instead (classic Belady) loses at large SRAM: with eviction
+    // permanent, a far next use says nothing about how soon the
+    // register is truly free. Both constants were swept on the perf
+    // lane's win grid; (r + 1)/(end - s) wins or ties every measured
+    // (workload, SRAM) point.
+    const bool priority_alloc = opts.regalloc == "priority";
+    constexpr long long kStoreCost = 1;
+    std::vector<std::vector<int>> use_pos;
+    if (priority_alloc) {
+        use_pos.resize(n);
+        for (size_t i = 0; i < n; ++i) {
+            const IrInst &inst = prog.insts[i];
+            if (inst.dead)
+                continue;
+            for (int operand : {inst.a, inst.b, inst.c})
+                if (operand >= 0 && pos[i] >= 0)
+                    use_pos[operand].push_back(pos[i]);
+        }
+        for (std::vector<int> &u : use_pos)
+            std::sort(u.begin(), u.end());
+    }
+
     auto linearScan = [&](size_t alloc_regs) {
         assigned.assign(n, -1);
         spilled.assign(n, 0);
@@ -326,6 +365,10 @@ runRegAllocAndCodegen(const IrProgram &prog, const std::vector<int> &order,
         // Active intervals ordered by end position.
         std::set<std::pair<int, int>> active; // (end, value)
 
+        auto reloadsDue = [&](int v, int s) -> long long {
+            const std::vector<int> &u = use_pos[static_cast<size_t>(v)];
+            return u.end() - std::lower_bound(u.begin(), u.end(), s);
+        };
         for (int idx : order) {
             const size_t i = static_cast<size_t>(idx);
             if (!needs_reg[i])
@@ -341,8 +384,8 @@ runRegAllocAndCodegen(const IrProgram &prog, const std::vector<int> &order,
                 assigned[i] = free_regs.back();
                 free_regs.pop_back();
                 active.emplace(end, static_cast<int>(i));
-            } else {
-                // Spill the interval that ends furthest away.
+            } else if (!priority_alloc) {
+                // Legacy: spill the interval that ends furthest away.
                 auto furthest = std::prev(active.end());
                 if (furthest->first > end) {
                     int victim = furthest->second;
@@ -350,6 +393,42 @@ runRegAllocAndCodegen(const IrProgram &prog, const std::vector<int> &order,
                     spilled[victim] = 1;
                     assigned[victim] = -1;
                     active.erase(furthest);
+                    active.emplace(end, static_cast<int>(i));
+                } else {
+                    spilled[i] = 1;
+                }
+                ++spill_count;
+            } else {
+                // Priority: candidates are every active plus the
+                // incoming value itself. Compare (r + 1)/(end - s)
+                // ratios with exact integer cross-multiplication (the
+                // end distance can be 0 for an interval expiring at
+                // this position — cost/0 = infinity keeps it resident,
+                // and it frees its register on its own next tick
+                // anyway). Ties prefer the larger end distance, then
+                // the smaller value id: fully deterministic.
+                long long best_r = reloadsDue(idx, start);
+                long long best_d = end - start;
+                int best_v = idx;
+                for (const std::pair<int, int> &entry : active) {
+                    const int v = entry.second;
+                    const long long r = reloadsDue(v, start);
+                    const long long d = entry.first - start;
+                    const long long lhs = (r + kStoreCost) * best_d;
+                    const long long rhs = (best_r + kStoreCost) * d;
+                    if (lhs < rhs ||
+                        (lhs == rhs &&
+                         (d > best_d || (d == best_d && v < best_v)))) {
+                        best_r = r;
+                        best_d = d;
+                        best_v = v;
+                    }
+                }
+                if (best_v != idx) {
+                    assigned[i] = assigned[best_v];
+                    spilled[best_v] = 1;
+                    assigned[best_v] = -1;
+                    active.erase({last_use[best_v], best_v});
                     active.emplace(end, static_cast<int>(i));
                 } else {
                     spilled[i] = 1;
@@ -416,6 +495,7 @@ runRegAllocAndCodegen(const IrProgram &prog, const std::vector<int> &order,
         }
     }
     const size_t alloc_regs = num_regs - num_scratch;
+    stats.add("regalloc.spilledValues", double(spill_count));
 
     // HBM address map: program objects first, then the spill area.
     std::vector<u64> obj_base(prog.objects.size(), 0);

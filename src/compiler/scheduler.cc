@@ -11,7 +11,8 @@ namespace effact {
 
 namespace {
 
-/** Latency estimate (in lane-beats) used for critical-path priority. */
+/** Legacy latency estimate (abstract lane-beats) used for the
+ *  `"critical"` priority mode. */
 double
 estLatency(const IrInst &inst)
 {
@@ -29,12 +30,53 @@ estLatency(const IrInst &inst)
     }
 }
 
+/**
+ * `"latency"` priority mode: per-instruction weight mirroring the
+ * simulator's own occupancy model (`ResourceModel`), in modeled
+ * cycles — element-wise ops occupy ceil(N / lanes), NTTs the
+ * lane-normalized butterfly count N*log2(N)/2 / lanes, and memory ops
+ * the HBM transfer time of one residue (8 bytes/coefficient), each
+ * plus the fixed per-instruction startup overhead. At paper scale
+ * (N=65536, 1024 lanes, 2.4 kB/cycle HBM) the ratio NTT : mem : EW is
+ * roughly 528 : 234 : 80 — memory traffic is ~3x the static model's
+ * weight relative to NTT, which is what re-ranks long load/store
+ * chains above shallow arithmetic.
+ */
+double
+modelLatency(const IrInst &inst, const CompilerOptions &opts,
+             size_t degree)
+{
+    constexpr double kStartup = 16.0; // ResourceModel::kStartupCycles
+    const double lanes = double(opts.lanes == 0 ? 1 : opts.lanes);
+    const double n = double(degree == 0 ? 1 : degree);
+    switch (inst.op) {
+      case IrOp::Ntt:
+      case IrOp::Intt: {
+        double stages = 0.0;
+        for (size_t d = 1; d < degree; d <<= 1)
+            stages += 1.0;
+        return kStartup + n * stages / 2.0 / lanes;
+      }
+      case IrOp::Load:
+      case IrOp::Store: {
+        const double bpc =
+            opts.hbmBytesPerCycle > 0 ? opts.hbmBytesPerCycle : 1.0;
+        return kStartup + n * 8.0 / bpc;
+      }
+      default:
+        // Element-wise FU work (mul/add/sub/mac/auto/copy): one pass
+        // over the residue at `lanes` coefficients per cycle.
+        return kStartup + (n + lanes - 1.0) / lanes;
+    }
+}
+
 } // namespace
 
 std::vector<int>
 runScheduler(const IrProgram &prog, AnalysisManager &analyses,
-             bool enabled, StatSet &stats)
+             const CompilerOptions &opts, StatSet &stats)
 {
+    const bool enabled = opts.schedule;
     const size_t n = prog.insts.size();
     // liveCount() walks every instruction; hoist it out of the scheduling
     // loop below or the pass goes quadratic on large programs (the 80k-inst
@@ -61,10 +103,17 @@ runScheduler(const IrProgram &prog, AnalysisManager &analyses,
     // Critical-path priority: longest latency path to any sink (node
     // ids are topological in SSA construction order, which DepGraph
     // edges preserve). Dead instructions have no edges and latency 0.
+    // The per-instruction weights come from the selected latency model;
+    // only this vector differs between the two modes — the windowed
+    // list-scheduling mechanics below are shared.
+    const bool model_latency = opts.scheduler == "latency";
     std::vector<double> latency(n, 0.0);
     for (size_t i = 0; i < n; ++i)
         if (!prog.insts[i].dead)
-            latency[i] = estLatency(prog.insts[i]);
+            latency[i] = model_latency
+                             ? modelLatency(prog.insts[i], opts,
+                                            prog.degree)
+                             : estLatency(prog.insts[i]);
     const std::vector<double> prio = graph.criticalPath(latency);
 
     // Windowed list scheduling: ready instructions ordered by priority,
@@ -127,6 +176,7 @@ runScheduler(const IrProgram &prog, AnalysisManager &analyses,
                   "scheduler dropped instructions (%zu of %zu)",
                   order.size(), live_count);
     stats.add("sched.enabled", 1);
+    stats.add("sched.latencyModel", model_latency ? 1 : 0);
     stats.add("sched.criticalPath",
               n == 0 ? 0 : *std::max_element(prio.begin(), prio.end()));
     return order;

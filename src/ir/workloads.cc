@@ -270,6 +270,50 @@ buildDbLookup(const FheParams &fhe, size_t records)
 }
 
 Workload
+buildRotationBatch(const FheParams &fhe, size_t chains, size_t hops)
+{
+    Workload w;
+    FheParams p = fhe;
+    w.fhe = p;
+    w.amortizeFactor = double(p.degree());
+    w.program.name = "rotbatch";
+
+    KernelBuilder kb(w.program, p);
+    IrBuilder &b = kb.builder();
+    const int gk = kb.switchingKeyObject("galois_keys");
+    IrCt ct = kb.inputCiphertext("ct", p.levels);
+    const u64 two_n = u64(p.degree()) * 2;
+
+    // Paired generators (g, g^2): chain 2k steps by g and accumulates
+    // every second hop, chain 2k+1 steps by g^2 and accumulates every
+    // hop, so chain 2k's step 2s lands on the same net element as
+    // chain 2k+1's step s.  Neither accumulates the hops it merely
+    // steps through, so after rotalg re-roots both chains at `ct` the
+    // bypassed intermediates die (dead-rotation sweep) and the
+    // colliding survivors canonicalize to identical forms that PRE
+    // deduplicates — each pair of chains collapses from hops + hops/2
+    // rotations to hops/2 shared ones.
+    IrCt acc = ct;
+    for (size_t c = 0; c < chains; ++c) {
+        const u64 base = 5 + 2 * (c / 2);
+        const bool squared = c % 2 != 0;
+        const u64 g = squared ? base * base % two_n : base % two_n;
+        const size_t steps = squared ? hops / 2 : hops;
+        IrCt v = ct;
+        for (size_t s = 0; s < steps; ++s) {
+            v = {b.automorph(v.c0, g), b.automorph(v.c1, g), v.level};
+            if (squared || s % 2 == 1 || s + 1 == steps)
+                acc = kb.hadd(acc, v);
+        }
+    }
+
+    // One hoisted key switch over the accumulated c1, as in rotate().
+    auto [k0, k1] = kb.keySwitch(acc.c1, acc.level, gk);
+    kb.output("result", IrCt{b.add(acc.c0, k0), k1, acc.level});
+    return w;
+}
+
+Workload
 buildTfheBootstrap()
 {
     // TFHE gate bootstrapping (Sec. VI-D): n_lwe blind-rotation steps,

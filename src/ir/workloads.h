@@ -53,6 +53,23 @@ Workload buildDbLookup(const FheParams &fhe, size_t records = 256);
 /** TFHE gate bootstrapping (Sec. VI-D): blind rotation + extraction. */
 Workload buildTfheBootstrap();
 
+/**
+ * Hoisted rotate-accumulate batch: `chains` independent serial
+ * automorphism chains of `hops` steps each (v_{s+1} = sigma_g(v_s)),
+ * accumulated into one ciphertext with a single deferred key switch —
+ * the pre-key-switch hoisting pattern of BSGS linear transforms.
+ * The serial Auto-of-Auto chains are exactly the shape the `rotalg`
+ * pass rewrites: composition re-roots every rotation at the chain
+ * head (breaking the serial dependence on the lone AUTO unit), the
+ * hops each chain merely steps through (even chains accumulate only
+ * every second hop, odd chains run the squared generator for half
+ * the steps) become dead rotations the pass retires, and the
+ * surviving paired elements g^{2s} == (g^2)^s collide after
+ * canonicalization so PRE deduplicates them across each pair.
+ */
+Workload buildRotationBatch(const FheParams &fhe, size_t chains = 4,
+                            size_t hops = 8);
+
 /** Emits the ModRaise data movement + broadcast NTTs. */
 IrCt emitModRaise(KernelBuilder &kb, const std::string &name);
 

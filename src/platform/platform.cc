@@ -11,6 +11,8 @@ Platform::Platform(HardwareConfig hw, CompilerOptions copts)
 {
     copts_.sramBytes = hw_.sramBytes;
     copts_.issueWindow = hw_.issueWindow;
+    copts_.lanes = hw_.lanes;
+    copts_.hbmBytesPerCycle = hw_.hbmBytesPerCycle();
 }
 
 PlatformResult
@@ -122,6 +124,20 @@ Platform::fullOptions(size_t sram_bytes)
 {
     CompilerOptions o;
     o.pipeline = "copyprop,constprop,pre,peephole";
+    o.sramBytes = sram_bytes;
+    return o;
+}
+
+CompilerOptions
+Platform::optimizedOptions(size_t sram_bytes)
+{
+    // rotalg runs before PRE so composed rotations are canonical when
+    // value numbering looks for duplicates; the fixed point re-runs the
+    // sequence anyway, so the order only affects sweep count.
+    CompilerOptions o;
+    o.pipeline = "copyprop,constprop,rotalg,pre,peephole";
+    o.regalloc = "priority";
+    o.scheduler = "latency";
     o.sramBytes = sram_bytes;
     return o;
 }

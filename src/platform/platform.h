@@ -102,6 +102,15 @@ class Platform
     /** Full EFFACT (adds the circuit-level NTT reuse on the hw side). */
     static CompilerOptions fullOptions(size_t sram_bytes);
 
+    /**
+     * Full EFFACT plus the PR 10 pass-zoo additions: the rotation-chain
+     * algebraic rewrite in the pipeline, the priority spill policy, and
+     * the `ResourceModel`-weighted list scheduler. A separate preset —
+     * the four Fig. 11 factories above stay byte-for-byte what the
+     * paper ablates (and what the perf-lane fingerprints pin).
+     */
+    static CompilerOptions optimizedOptions(size_t sram_bytes);
+
   private:
     HardwareConfig hw_;
     CompilerOptions copts_;

@@ -294,6 +294,8 @@ encodeRequest(const ServiceRequest &req)
     putU8(buf, req.copts.schedule ? 1 : 0);
     putU8(buf, req.copts.streaming ? 1 : 0);
     putU64(buf, req.copts.fifoDepth);
+    putString(buf, req.copts.scheduler);
+    putString(buf, req.copts.regalloc);
     putU64(buf, uint64_t(req.verifyLevel));
     return buf;
 }
@@ -332,6 +334,8 @@ decodeRequest(const std::vector<uint8_t> &payload, ServiceRequest *out,
     req.copts.schedule = r.u8() != 0;
     req.copts.streaming = r.u8() != 0;
     req.copts.fifoDepth = size_t(r.u64());
+    req.copts.scheduler = r.str();
+    req.copts.regalloc = r.str();
     req.verifyLevel = int64_t(r.u64());
     if (!r.ok() || !r.atEnd()) {
         if (error != nullptr)

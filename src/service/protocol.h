@@ -47,7 +47,9 @@ namespace effact {
 
 /** 'E','F','C','T' read as a little-endian u32. */
 constexpr uint32_t kFrameMagic = 0x54434645u;
-constexpr uint16_t kProtocolVersion = 1;
+/** v2: request payloads carry the back-end policy strings
+ *  (`CompilerOptions::scheduler` / `::regalloc`) after `fifoDepth`. */
+constexpr uint16_t kProtocolVersion = 2;
 /** Hard payload bound: a request or result is a few KB; anything
  *  megabytes-large is garbage and refused before allocation. */
 constexpr uint32_t kMaxFramePayload = 1u << 20;

@@ -133,7 +133,7 @@ verifyIr(const IrProgram &prog)
             continue; // stale operands on dead values are expected
         const IrShape shape = shapeOf(inst.op);
         const std::string who = display(inst);
-        rep.checksRun += 8;
+        rep.checksRun += 9;
 
         // Operand ids: in range, defined earlier, live, value-producing.
         for (int slot = 0; slot < 3; ++slot) {
@@ -226,6 +226,20 @@ verifyIr(const IrProgram &prog)
             report(rep, "ir.modulus.range", i,
                    "limb index " + std::to_string(inst.modulus) +
                        " exceeds the architectural cap in " + who);
+
+        // Galois elements index the automorphism group (Z/2NZ)*; the
+        // builder emits them in [1, 2N) and the rotalg pass composes
+        // and canonicalizes within that range (note the group has odd
+        // elements only, but kernels legitimately encode even raw
+        // indices like 5 + r, so the rule checks the range alone).
+        if (inst.op == IrOp::Auto && inst.useImm) {
+            const u64 two_n = u64(prog.degree) * 2;
+            if (inst.imm < 1 || (two_n > 0 && inst.imm >= two_n))
+                report(rep, "ir.auto.elt", i,
+                       "Galois element " + std::to_string(inst.imm) +
+                           " outside [1, " + std::to_string(two_n) +
+                           ") in " + who);
+        }
     }
     return rep;
 }

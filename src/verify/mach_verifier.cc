@@ -10,6 +10,8 @@
 #include "verify/verify.h"
 
 #include <algorithm>
+#include <climits>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "common/logging.h"
@@ -79,10 +81,26 @@ verifyMachine(const MachineProgram &prog, const MachVerifyBudget &budget)
 
     std::vector<uint8_t> written(prog.numRegs, 0);
     std::unordered_set<u64> fifo_live; // produced, not yet consumed
+    // Per-HBM-address issue history for the memory-ordering rule: the
+    // alias pass orders every store-involving pair of same-location
+    // accesses by IR value id, and the scheduler must preserve those
+    // edges — so in issue order, a store must not follow any access
+    // with a greater irId at its address, and a load must not follow a
+    // store with a greater irId. Equal ids are one value's own spill
+    // store/reload traffic. Loads reorder freely among themselves, and
+    // instructions without IR provenance (irId < 0, hand-built
+    // programs) are exempt. DRAM-stream operands are not covered —
+    // only explicit LOAD_RES/STORE_RES.
+    struct AddrHistory
+    {
+        int maxSeenIr = INT_MIN;   ///< any access at this address
+        int lastStoreIr = INT_MIN; ///< most recent store's irId
+    };
+    std::unordered_map<u64, AddrHistory> mem_history;
     const int n = static_cast<int>(prog.insts.size());
     for (int i = 0; i < n; ++i) {
         const MachInst &mi = prog.insts[i];
-        rep.checksRun += 6;
+        rep.checksRun += 8;
         auto who = [&] { return disassemble(mi); };
 
         // Register ids in range for every Reg operand (the PR 4
@@ -213,6 +231,39 @@ verifyMachine(const MachineProgram &prog, const MachVerifyBudget &budget)
                                " produced again before being consumed "
                                "in " +
                                who());
+            }
+        }
+
+        // Explicit memory accesses: residue-aligned addresses (the
+        // regalloc lays objects and spill slots out in whole-residue
+        // units) and per-address issue order consistent with IR value
+        // order (see `mem_history` above).
+        if (mi.op == Opcode::LOAD_RES || mi.op == Opcode::STORE_RES) {
+            if (prog.residueBytes != 0 &&
+                mi.hbmAddr % prog.residueBytes != 0)
+                report(rep, "mach.mem.align", i,
+                       "HBM address " + std::to_string(mi.hbmAddr) +
+                           " not a multiple of residueBytes=" +
+                           std::to_string(prog.residueBytes) + " in " +
+                           who());
+            if (mi.irId >= 0) {
+                AddrHistory &h = mem_history[mi.hbmAddr];
+                if (mi.op == Opcode::STORE_RES) {
+                    if (h.maxSeenIr > mi.irId)
+                        report(rep, "mach.mem.order", i,
+                               "store of v" + std::to_string(mi.irId) +
+                                   " issued after an access of v" +
+                                   std::to_string(h.maxSeenIr) +
+                                   " at the same address in " + who());
+                    h.lastStoreIr = std::max(h.lastStoreIr, mi.irId);
+                } else if (h.lastStoreIr > mi.irId) {
+                    report(rep, "mach.mem.order", i,
+                           "load of v" + std::to_string(mi.irId) +
+                               " issued after the store of v" +
+                               std::to_string(h.lastStoreIr) +
+                               " at the same address in " + who());
+                }
+                h.maxSeenIr = std::max(h.maxSeenIr, mi.irId);
             }
         }
     }

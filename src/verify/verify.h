@@ -32,6 +32,9 @@
  *   - ir.mem.readonly       Store targets a read-only object
  *   - ir.mem.stray          non-memory instruction carries a MemRef
  *   - ir.modulus.range      limb index >= kMaxLimbIndex
+ *   - ir.auto.elt           live immediate-form Auto carries a Galois
+ *                           element outside [1, 2N) — the range the
+ *                           rotalg pass composes/canonicalizes within
  *
  *  Machine (verifyMachine):
  *   - mach.program.meta     residueBytes/numRegs metadata malformed
@@ -46,6 +49,13 @@
  *                           clamped [1, 4] range (or >= the whole pool)
  *   - mach.sram.budget      register file inconsistent with the
  *                           `HardwareConfig` SRAM capacity
+ *   - mach.mem.align        LOAD_RES/STORE_RES HBM address not a
+ *                           multiple of residueBytes — the regalloc's
+ *                           object/spill-slot layout invariant
+ *   - mach.mem.order        explicit memory accesses to one HBM address
+ *                           issued inconsistently with their IR value
+ *                           order (a scheduler/codegen pass dropped a
+ *                           memory dependence)
  */
 #ifndef EFFACT_VERIFY_VERIFY_H
 #define EFFACT_VERIFY_VERIFY_H

@@ -185,7 +185,7 @@ TEST(Scheduler, RespectsDependences)
     IrProgram prog = tinyProgram();
     StatSet stats;
     AnalysisManager analyses;
-    auto order = runScheduler(prog, analyses, true, stats);
+    auto order = runScheduler(prog, analyses, CompilerOptions{}, stats);
     ASSERT_EQ(order.size(), prog.liveCount());
     std::vector<int> pos(prog.insts.size(), -1);
     for (size_t k = 0; k < order.size(); ++k)
@@ -206,7 +206,7 @@ TEST(Streaming, SingleConsumerLoadsStream)
     IrProgram prog = tinyProgram(); // load b has a single use
     StatSet stats;
     AnalysisManager analyses;
-    auto order = runScheduler(prog, analyses, true, stats);
+    auto order = runScheduler(prog, analyses, CompilerOptions{}, stats);
     auto info = runStreaming(prog, order, true, 96, stats);
     EXPECT_GE(stats.get("stream.loads"), 1);
     // Load of `a` has two consumers -> must not stream.
@@ -218,7 +218,7 @@ TEST(Streaming, DisabledMeansNothingStreams)
     IrProgram prog = tinyProgram();
     StatSet stats;
     AnalysisManager analyses;
-    auto order = runScheduler(prog, analyses, true, stats);
+    auto order = runScheduler(prog, analyses, CompilerOptions{}, stats);
     auto info = runStreaming(prog, order, false, 96, stats);
     for (auto v : info.streamedLoad)
         EXPECT_EQ(v, 0);

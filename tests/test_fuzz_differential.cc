@@ -71,6 +71,20 @@ struct SemVal
 {
     u64 v = 0;
     bool absorb = false; ///< iNTT-rooted: Normal imm scales contribute 1
+    /**
+     * Rotation provenance, the compositional model behind the rotalg
+     * pass: an automorphism result remembers its chain root (as a value
+     * id into the interpreter's own `vals` array) and the accumulated
+     * Galois element mod 2N, so sigma_g2(sigma_g1(x)) evaluates to the
+     * same hash as sigma_{g1*g2 mod 2N}(x) — associativity makes the
+     * hash invariant under any partial composition the pass performs.
+     * An accumulated element of 1 yields the root's SemVal verbatim
+     * (matching the pass's identity-fold to Copy, absorb flag and all).
+     * Chains only compose within one modulus, mirroring the pass.
+     */
+    int rotRootId = -1;  ///< chain root value id (-1 = not a rotation)
+    u64 rotElt = 1;      ///< accumulated Galois element mod 2N
+    uint32_t rotMod = 0; ///< modulus of the chain
 };
 
 using MemKey = std::pair<int, int>; // (object, residue index)
@@ -153,10 +167,34 @@ interpret(const IrProgram &prog)
             out.v = mix64(0x494e7474ULL ^ a.v ^ (u64(inst.modulus) << 48));
             out.absorb = true;
             break;
-          case IrOp::Auto:
-            out.v = mix64(0x4175746fULL ^ a.v ^ mix64(inst.imm) ^
-                          (u64(inst.modulus) << 48));
+          case IrOp::Auto: {
+            // Compositional rotation semantics (see SemVal): resolve the
+            // chain root and the accumulated element mod 2N, then hash
+            // (root, element) — so the value is invariant under any
+            // partial sigma-composition the rotalg pass performs.
+            const u64 two_n = u64(prog.degree) * 2;
+            int root_id = inst.a;
+            u64 elt = two_n != 0 ? inst.imm % two_n : inst.imm;
+            if (a.rotRootId >= 0 && a.rotMod == inst.modulus &&
+                two_n != 0) {
+                root_id = a.rotRootId;
+                elt = elt * a.rotElt % two_n;
+            }
+            const SemVal root = root_id >= 0 ? vals[root_id] : SemVal{};
+            if (elt == 1) {
+                // Identity rotation: the pass folds it to a Copy of the
+                // root, so the interpreter must yield the root verbatim
+                // (absorb flag and provenance included).
+                out = root;
+            } else {
+                out.v = mix64(0x4175746fULL ^ root.v ^ mix64(elt) ^
+                              (u64(inst.modulus) << 48));
+                out.rotRootId = root_id;
+                out.rotElt = elt;
+                out.rotMod = inst.modulus;
+            }
             break;
+          }
         }
         vals[i] = out;
     }
@@ -373,6 +411,24 @@ class ProgramGen
             inst.useImm = true;
             inst.imm = 2 * rng_.uniform(prog_.degree / 2) + 1;
             taint = tainted_[inst.a];
+            if (rng_.uniform(2) == 0) {
+                // Serial sigma-chain v_{s+1} = sigma_g(v_s): the shape
+                // rotalg composes, identity-folds (odd elements cycle,
+                // so accumulated products hit 1 mod 2N), and retires as
+                // dead rotations once composition bypasses the links.
+                int v = record(prog_.emit(inst), m, taint);
+                const size_t links = 1 + rng_.uniform(3);
+                for (size_t link = 0; link < links; ++link) {
+                    IrInst rot;
+                    rot.op = IrOp::Auto;
+                    rot.a = v;
+                    rot.useImm = true;
+                    rot.imm = 2 * rng_.uniform(prog_.degree / 2) + 1;
+                    rot.modulus = m;
+                    v = record(prog_.emit(rot), m, taint);
+                }
+                return;
+            }
         } else if (roll < 23) { // copy chain fodder
             inst.op = IrOp::Copy;
             inst.a = pick(m);
@@ -458,6 +514,26 @@ fixedPointOptimize(IrProgram &prog, const CompilerOptions &opts,
     prog.compact();
 }
 
+/** A fixed-point run of an *explicit* pipeline spec — the only way to
+ *  reach passes (rotalg) that `pipelineSpecFromOptions` never emits. */
+void
+fixedPointOptimizeSpec(IrProgram &prog, const std::string &spec,
+                       StatSet &stats,
+                       const ParallelExec &exec = ParallelExec())
+{
+    AnalysisManager analyses;
+    analyses.setExec(exec);
+    PassManager pm = PassManager::fromSpec(spec);
+    pm.setVerifyLevel(1);
+    pm.run(prog, analyses, stats);
+    ASSERT_TRUE(pm.converged()) << "pipeline did not converge";
+    prog.compact();
+}
+
+/** The rotalg-bearing pipeline, as `Platform::optimizedOptions` orders
+ *  it (composition before PRE so net elements are canonical). */
+constexpr const char *kRotalgSpec = "copyprop,constprop,rotalg,pre,peephole";
+
 /** Option presets swept per seed (switch combinations, not specs). */
 std::vector<CompilerOptions>
 optionPresets(Rng &rng)
@@ -510,6 +586,21 @@ checkSemanticEquivalence(uint64_t seed, GenMode mode, size_t target_insts)
         // single sweep (it subsumes it).
         EXPECT_LE(fixed_point.liveCount(), legacy.liveCount()) << tag;
     }
+
+    // The rotalg pipeline (unreachable from the bool switches): the
+    // algebraic rewrites must preserve the memory image, never grow the
+    // program (in-place rewrites + Auto-restricted DCE only), and stay
+    // bit-identical under region sharding.
+    const std::string rtag = "seed " + std::to_string(seed) + " rotalg";
+    StatSet rot_stats;
+    IrProgram rotalg_opt = original;
+    fixedPointOptimizeSpec(rotalg_opt, kRotalgSpec, rot_stats);
+    IrProgram rotalg_sharded = original;
+    fixedPointOptimizeSpec(rotalg_sharded, kRotalgSpec, rot_stats,
+                           ParallelExec(&fuzzPool()));
+    EXPECT_EQ(fingerprint(rotalg_sharded), fingerprint(rotalg_opt)) << rtag;
+    EXPECT_EQ(interpret(rotalg_opt), mem_original) << rtag;
+    EXPECT_LE(rotalg_opt.liveCount(), original.liveCount()) << rtag;
 }
 
 // --- Simulator differential -----------------------------------------------
@@ -552,8 +643,17 @@ checkSimulatorEquivalence(uint64_t seed, size_t target_insts)
     opts.schedule = rng.uniform(2) == 0;
     opts.streaming = rng.uniform(2) == 0;
     opts.fifoDepth = 1 + rng.uniform(128);
+    // Back-end policy sampling: both schedulers, both allocators, and
+    // (half the time) the rotalg-bearing explicit pipeline — every
+    // combination must satisfy the event-vs-reference contract.
+    opts.scheduler = rng.uniform(2) == 0 ? "latency" : "critical";
+    opts.regalloc = rng.uniform(2) == 0 ? "priority" : "linear";
+    if (rng.uniform(2) == 0)
+        opts.pipeline = kRotalgSpec;
     opts.sramBytes = hw.sramBytes;
     opts.issueWindow = hw.issueWindow;
+    opts.lanes = hw.lanes;
+    opts.hbmBytesPerCycle = hw.hbmBytesPerCycle();
     // Fully verified compiles: IR checked at every pass boundary and
     // the machine program at back-end exit, for every random shape.
     opts.verifyLevel = 1;

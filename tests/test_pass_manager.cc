@@ -13,6 +13,7 @@
 #include "ir/builder.h"
 #include "ir/workloads.h"
 #include "platform/platform.h"
+#include "runtime/thread_pool.h"
 #include "sim/machine.h"
 
 namespace effact {
@@ -74,7 +75,7 @@ legacyCompile(IrProgram &prog, const CompilerOptions &opts, StatSet &stats)
     stats.set("optimized.instructions", double(prog.liveCount()));
 
     AnalysisManager analyses;
-    auto order = runScheduler(prog, analyses, opts.schedule, stats);
+    auto order = runScheduler(prog, analyses, opts, stats);
     auto streaming = runStreaming(prog, order, opts.streaming,
                                   opts.fifoDepth, stats);
     return runRegAllocAndCodegen(prog, order, streaming, opts, stats);
@@ -236,6 +237,20 @@ TEST(PipelineSpec, PresetsAreDeclarative)
          {Platform::madEnhancedOptions(mb), Platform::streamingOptions(mb),
           Platform::fullOptions(mb)})
         EXPECT_EQ(pipelineSpecFromOptions(opts), opts.pipeline);
+
+    // The optimized preset is explicit-spec only (rotalg has no bool
+    // switch) and selects the new back-end policies; the four stock
+    // presets above keep the legacy policies.
+    const CompilerOptions optimized = Platform::optimizedOptions(mb);
+    EXPECT_EQ(optimized.pipeline, "copyprop,constprop,rotalg,pre,peephole");
+    EXPECT_EQ(optimized.regalloc, "priority");
+    EXPECT_EQ(optimized.scheduler, "latency");
+    for (auto &opts :
+         {Platform::baselineOptions(mb), Platform::madEnhancedOptions(mb),
+          Platform::streamingOptions(mb), Platform::fullOptions(mb)}) {
+        EXPECT_EQ(opts.regalloc, "linear");
+        EXPECT_EQ(opts.scheduler, "critical");
+    }
 }
 
 // --- Fixed point ----------------------------------------------------------
@@ -427,6 +442,63 @@ TEST(Equivalence, FixedPointMatchesLegacySweepOnAllAblationPresets)
             EXPECT_DOUBLE_EQ(fp_run.cycles, legacy_run.cycles) << tag;
             EXPECT_DOUBLE_EQ(fp_run.dramBytes, legacy_run.dramBytes)
                 << tag;
+        }
+    }
+}
+
+TEST(Equivalence, OptimizedPresetShrinksAndStaysDeterministic)
+{
+    // The rotalg/priority/latency preset against the full Fig. 11
+    // preset: never more optimized instructions, rotalg demonstrably
+    // fires on the rotation workload, verifier-clean at every
+    // checkpoint, and machine code bit-identical under region-sharded
+    // recompiles at 2 and 8 workers.
+    const size_t sram = size_t(6) << 20;
+    std::vector<std::pair<std::string, Workload>> cases;
+    cases.emplace_back("rotbatch",
+                       buildRotationBatch(FheParams{13, 8, 2}, 4, 8));
+    for (auto &[name, w] : stockWorkloads())
+        cases.emplace_back(name, std::move(w));
+
+    for (auto &[name, w] : cases) {
+        CompilerOptions full_opts = Platform::fullOptions(sram);
+        full_opts.verifyLevel = 1;
+        IrProgram full_prog = w.program;
+        Compiler full_compiler(full_opts);
+        full_compiler.compile(full_prog);
+
+        CompilerOptions opt_opts = Platform::optimizedOptions(sram);
+        opt_opts.verifyLevel = 1;
+        IrProgram opt_prog = w.program;
+        Compiler opt_compiler(opt_opts);
+        const MachineProgram opt = opt_compiler.compile(opt_prog);
+
+        EXPECT_LE(opt_compiler.stats().get("optimized.instructions"),
+                  full_compiler.stats().get("optimized.instructions"))
+            << name;
+        EXPECT_EQ(opt_compiler.stats().get("pipeline.converged"), 1)
+            << name;
+        if (std::string(name) == "rotbatch") {
+            EXPECT_GT(opt_compiler.stats().get("rotalg.composed"), 0)
+                << name;
+            EXPECT_GT(opt_compiler.stats().get("rotalg.deadRotations"), 0)
+                << name;
+            // The bypassed intermediates actually left the program.
+            EXPECT_LT(opt_compiler.stats().get("optimized.instructions"),
+                      full_compiler.stats().get("optimized.instructions"))
+                << name;
+        }
+
+        for (size_t workers : {size_t(2), size_t(8)}) {
+            ThreadPool pool(workers);
+            IrProgram sharded_prog = w.program;
+            Compiler sharded_compiler(opt_opts);
+            AnalysisManager analyses;
+            analyses.setExec(ParallelExec(&pool));
+            const MachineProgram sharded =
+                sharded_compiler.compile(sharded_prog, analyses);
+            EXPECT_EQ(fingerprint(sharded), fingerprint(opt))
+                << name << " @ " << workers << " workers";
         }
     }
 }

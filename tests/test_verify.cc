@@ -221,6 +221,25 @@ TEST(IrVerifier, ModulusRange)
     expectOnly(verifyIr(prog), "ir.modulus.range");
 }
 
+TEST(IrVerifier, AutoElt)
+{
+    // A Galois element lives in [1, 2N); the rotalg pass reduces every
+    // composed element mod 2N, so anything outside the range is a
+    // malformed rotation, not a big rotation.
+    IrProgram prog = tinyProgram();
+    IrBuilder b(prog);
+    b.automorph(PolyVal{{2}}, 5); // rotate the Mul's limb: well-formed
+    ASSERT_TRUE(verifyIr(prog).ok());
+    prog.insts.back().imm = u64(prog.degree) * 2; // == 2N: out of range
+    expectOnly(verifyIr(prog), "ir.auto.elt");
+
+    IrProgram prog2 = tinyProgram();
+    IrBuilder b2(prog2);
+    b2.automorph(PolyVal{{2}}, 5);
+    prog2.insts.back().imm = 0; // below the range
+    expectOnly(verifyIr(prog2), "ir.auto.elt");
+}
+
 TEST(IrVerifier, DeadInstructionsKeepStaleOperandsSilently)
 {
     // Passes mark values dead in place and leave stale operands behind;
@@ -374,6 +393,48 @@ TEST(MachVerifier, SramBudget)
     expectOnly(verifyMachine(mp, budget), "mach.sram.budget");
     // Without a budget the rule is skipped.
     EXPECT_TRUE(verifyMachine(mp).ok());
+}
+
+TEST(MachVerifier, MemAlign)
+{
+    // The regalloc lays objects and spill slots out in whole-residue
+    // units; a mid-residue HBM address is a layout bug.
+    MachineProgram mp = tinyMachine();
+    mp.insts[0].hbmAddr = mp.residueBytes + 17;
+    expectOnly(verifyMachine(mp), "mach.mem.align");
+
+    MachineProgram ok = tinyMachine();
+    ok.insts[0].hbmAddr = 4 * ok.residueBytes; // aligned: clean
+    EXPECT_TRUE(verifyMachine(ok).ok());
+}
+
+TEST(MachVerifier, MemOrder)
+{
+    // A store issued after an IR-later access of its address — the
+    // alias-edge inversion (WAR here) no scheduler order may produce.
+    MachineProgram mp = tinyMachine();
+    mp.insts[0].irId = 9; // load of v9 at address 0 issues first...
+    mp.insts[3].irId = 4; // ...then the store of IR-earlier v4
+    expectOnly(verifyMachine(mp), "mach.mem.order");
+
+    // A load issued after the store of an IR-later value (RAW
+    // inversion).
+    MachineProgram mp2 = tinyMachine();
+    mp2.insts[3].irId = 9; // store of v9 at address 0
+    MachInst ld;
+    ld.op = Opcode::LOAD_RES;
+    ld.dest = Operand::regOp(4);
+    ld.irId = 4; // IR-earlier load issued after it
+    mp2.insts.push_back(ld);
+    expectOnly(verifyMachine(mp2), "mach.mem.order");
+
+    // Equal ids are one value's own spill store/reload traffic, and
+    // IR-ordered accesses are what the alias edges require: both clean.
+    MachineProgram ok = tinyMachine();
+    ok.insts[0].irId = 3;
+    ok.insts[1].irId = 3;
+    ok.insts[3].irId = 7;
+    EXPECT_TRUE(verifyMachine(ok).ok());
 }
 
 // --- The PR 4 regression class --------------------------------------------
@@ -599,7 +660,7 @@ TEST(CorruptionFuzz, EveryInjectedIrDefectIsCaught)
     const size_t kRounds = 200;
     for (size_t round = 0; round < kRounds; ++round) {
         IrProgram prog = base;
-        switch (round % 7) {
+        switch (round % 8) {
           case 0: { // use-before-def
             int i = pick([](const IrInst &x) { return x.a >= 0; });
             prog.insts[i].a = i;
@@ -635,11 +696,18 @@ TEST(CorruptionFuzz, EveryInjectedIrDefectIsCaught)
             prog.insts[i].mem.object = 0;
             break;
           }
-          default: { // accumulator on a non-Mac opcode
+          case 6: { // accumulator on a non-Mac opcode
             int i = pick([](const IrInst &x) {
                 return x.op != IrOp::Mac && x.a >= 0;
             });
             prog.insts[i].c = 0;
+            break;
+          }
+          default: { // Galois element outside [1, 2N)
+            int i = pick([](const IrInst &x) {
+                return x.op == IrOp::Auto && x.useImm;
+            });
+            prog.insts[i].imm = 2 * u64(prog.degree) + rng() % 100;
             break;
           }
         }
@@ -670,7 +738,7 @@ TEST(CorruptionFuzz, EveryInjectedMachineDefectIsCaught)
     const size_t kRounds = 200;
     for (size_t round = 0; round < kRounds; ++round) {
         MachineProgram mp = base;
-        switch (round % 6) {
+        switch (round % 8) {
           case 0: { // the PR 4 class: negative register id
             int i = pick([](const MachInst &x) {
                 return x.dest.kind == OperandKind::Reg;
@@ -707,8 +775,36 @@ TEST(CorruptionFuzz, EveryInjectedMachineDefectIsCaught)
             mp.insts[i].src2 = Operand::regOp(0);
             break;
           }
-          default: { // scratch pool outside the clamp
+          case 5: { // scratch pool outside the clamp
             mp.scratchRegs = 5 + rng() % 10;
+            break;
+          }
+          case 6: { // mid-residue HBM address on a memory access
+            int i = pick([](const MachInst &x) {
+                return x.op == Opcode::LOAD_RES ||
+                       x.op == Opcode::STORE_RES;
+            });
+            mp.insts[i].hbmAddr +=
+                1 + rng() % (base.residueBytes - 1);
+            break;
+          }
+          default: { // reload issued before the IR-ordered spill store
+            int i = pick([](const MachInst &x) {
+                return x.dest.kind == OperandKind::Reg;
+            });
+            const u64 addr = u64(n + 100) * base.residueBytes;
+            MachInst st;
+            st.op = Opcode::STORE_RES;
+            st.src0 = base.insts[i].dest;
+            st.hbmAddr = addr;
+            st.irId = 5;
+            mp.insts.push_back(st);
+            MachInst ld;
+            ld.op = Opcode::LOAD_RES;
+            ld.dest = base.insts[i].dest;
+            ld.hbmAddr = addr;
+            ld.irId = 4; // IR-before the store it follows
+            mp.insts.push_back(ld);
             break;
           }
         }
@@ -719,12 +815,15 @@ TEST(CorruptionFuzz, EveryInjectedMachineDefectIsCaught)
 
 // --- Verified seed workloads across presets and thread counts -------------
 
+/** The four Fig. 11 presets plus the rotalg/priority/latency optimized
+ *  preset — every verified sweep covers all five. */
 std::vector<CompilerOptions>
 fig11Presets(size_t sram)
 {
     return {Platform::baselineOptions(sram),
             Platform::madEnhancedOptions(sram),
-            Platform::streamingOptions(sram), Platform::fullOptions(sram)};
+            Platform::streamingOptions(sram), Platform::fullOptions(sram),
+            Platform::optimizedOptions(sram)};
 }
 
 /** Submits small-workload jobs for every Fig. 11 preset. */
@@ -760,7 +859,7 @@ TEST(VerifiedWorkloads, CleanAtEveryBoundaryAcrossPresetsAndThreads)
         SweepEngine engine(sopts);
         submitVerifiedGrid(engine);
         const std::vector<SweepResult> &results = engine.runAll();
-        ASSERT_EQ(results.size(), 4u);
+        ASSERT_EQ(results.size(), 5u);
         uint64_t fp = 0;
         for (const SweepResult &r : results) {
             EXPECT_GT(r.platform.sim.cycles, 0.0) << r.name;
